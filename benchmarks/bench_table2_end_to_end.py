@@ -1,0 +1,64 @@
+"""Table II — parallel blockwise distillation training results.
+
+For each of the four (task, dataset) cells the table reports the teacher and
+student model sizes and the per-epoch elapsed time under DP, LS and Pipe-BD.
+Accuracy parity is covered separately by ``bench_accuracy_parity.py`` (the
+scheduling change provably cannot alter the training mathematics).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.config import ExperimentConfig
+from repro.core.reporting import TABLE2_HEADERS, format_table, table2_row
+from repro.core.runner import run_ablation
+
+CELLS = (
+    ("nas", "cifar10"),
+    ("nas", "imagenet"),
+    ("compression", "cifar10"),
+    ("compression", "imagenet"),
+)
+
+#: Paper Table II per-epoch times (seconds), for shape comparison only.
+PAPER_EPOCH_SECONDS = {
+    ("nas", "cifar10"): {"DP": 31.52, "LS": 16.33, "TR+DPU+AHD": 10.23},
+    ("nas", "imagenet"): {"DP": 3741, "LS": 7526, "TR+DPU+AHD": 855},
+    ("compression", "cifar10"): {"DP": 798, "LS": 397, "TR+DPU+AHD": 109},
+    ("compression", "imagenet"): {"DP": 13763, "LS": 34009, "TR+DPU+AHD": 3639},
+}
+
+
+def _measure_cell(task: str, dataset: str, fast_steps: int):
+    config = ExperimentConfig(task=task, dataset=dataset, simulated_steps=fast_steps)
+    suite = run_ablation(config, strategies=("DP", "LS", "TR+DPU+AHD"))
+    return config.build_pair(), suite.epoch_times()
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize("task,dataset", CELLS, ids=[f"{t}-{d}" for t, d in CELLS])
+def test_table2_end_to_end(benchmark, task, dataset, fast_steps):
+    pair, epoch_times = benchmark(_measure_cell, task, dataset, fast_steps)
+
+    row = table2_row(task, dataset, pair, epoch_times)
+    paper = PAPER_EPOCH_SECONDS[(task, dataset)]
+    comparison = format_table(
+        ["column", "measured (simulated)", "paper"],
+        [
+            ["DP epoch", f"{epoch_times['DP']:.1f}s", f"{paper['DP']}s"],
+            ["LS epoch", f"{epoch_times['LS']:.1f}s", f"{paper['LS']}s"],
+            ["Pipe-BD epoch", f"{epoch_times['TR+DPU+AHD']:.1f}s", f"{paper['TR+DPU+AHD']}s"],
+            [
+                "Pipe-BD speedup vs DP",
+                f"{epoch_times['DP'] / epoch_times['TR+DPU+AHD']:.2f}x",
+                f"{paper['DP'] / paper['TR+DPU+AHD']:.2f}x",
+            ],
+        ],
+    )
+    emit(f"Table II — {task} / {dataset}", format_table(TABLE2_HEADERS, [row]) + "\n\n" + comparison)
+
+    # Shape: Pipe-BD is the fastest column in every row, as in the paper.
+    assert epoch_times["TR+DPU+AHD"] < epoch_times["DP"]
+    assert epoch_times["TR+DPU+AHD"] < epoch_times["LS"]

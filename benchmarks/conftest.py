@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+corresponding rows/series (run with ``pytest benchmarks/ --benchmark-only -s``
+to see them).  Absolute numbers are simulated seconds, not the authors'
+wall-clock measurements; the shapes (who wins, by roughly what factor, where
+the crossovers fall) are the reproduction target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled report block."""
+    line = "=" * max(20, len(title) + 4)
+    print(f"\n{line}\n  {title}\n{line}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def fast_steps() -> int:
+    """Simulated steps per measurement; small keeps benchmarks quick."""
+    return 6

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Model-compression workload: batch-size sweep and memory report.
+
+Reproduces the compression side of the paper's evaluation (VGG-16 teacher
+distilled into depthwise-separable replacement blocks): speedups over the DP
+baseline across batch sizes (the Fig. 6 methodology applied to compression)
+and the per-rank memory footprint of each strategy (Fig. 7 methodology).
+
+Usage::
+
+    python examples/compression_batch_sweep.py [cifar10|imagenet]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.memory_report import average_memory_overhead
+from repro.core.config import ExperimentConfig
+from repro.core.reporting import format_table, memory_table
+from repro.core.runner import run_ablation
+
+STRATEGIES = ("DP", "LS", "TR", "TR+DPU", "TR+DPU+AHD")
+BATCH_SIZES = (128, 256, 384, 512)
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "cifar10"
+
+    print(f"=== Batch-size sweep (compression, {dataset}, 4x A6000) ===")
+    sweep = {}
+    for batch_size in BATCH_SIZES:
+        config = ExperimentConfig(task="compression", dataset=dataset, batch_size=batch_size)
+        sweep[batch_size] = run_ablation(config, strategies=STRATEGIES).speedups("DP")
+    rows = [
+        [strategy] + [f"{sweep[batch][strategy]:.2f}x" for batch in BATCH_SIZES]
+        for strategy in STRATEGIES
+    ]
+    print(format_table(["strategy"] + [f"batch {b}" for b in BATCH_SIZES], rows))
+    print()
+
+    print(f"=== Per-rank peak memory at batch 256 (compression, {dataset}) ===")
+    suite = run_ablation(
+        ExperimentConfig(task="compression", dataset=dataset, batch_size=256),
+        strategies=STRATEGIES,
+    )
+    print(memory_table(suite.results))
+    overhead = average_memory_overhead(suite.results["TR+DPU+AHD"], suite.results["DP"])
+    print(f"\nPipe-BD average per-rank memory overhead over DP: {overhead * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Numerical demonstration that Pipe-BD does not change the training maths.
+
+Builds small teacher/student block pairs (a VGG-style compression pair and a
+NAS mixed-op pair) on the numpy autograd engine and trains them twice with the
+same data order: once block-by-block as the DP baseline schedules the work,
+and once with Pipe-BD's decoupled per-step ordering.  The resulting student
+parameters are bit-identical — the executable form of the paper's §VII-D
+claim that only the schedule, not the formulation, changes.
+
+Usage::
+
+    python examples/numerical_equivalence.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distill.datasets import SyntheticImageDataset
+from repro.distill.supernet import derive_architecture
+from repro.distill.trainer import (
+    BlockwiseDistiller,
+    build_compression_block_pairs,
+    build_nas_block_pairs,
+)
+
+
+def run_workload(name: str, build_pairs) -> None:
+    dataset = SyntheticImageDataset(num_samples=96, sample_shape=(3, 8, 8), seed=23)
+    baseline = BlockwiseDistiller(build_pairs(seed=42), lr=0.05)
+    pipe_bd = BlockwiseDistiller(build_pairs(seed=42), lr=0.05)
+
+    history_baseline = baseline.train_sequential(dataset, batch_size=8, steps_per_block=10)
+    history_pipe_bd = pipe_bd.train_decoupled(dataset, batch_size=8, steps_per_block=10)
+
+    state_baseline = baseline.student_state()
+    state_pipe_bd = pipe_bd.student_state()
+    max_diff = max(
+        float(np.abs(state_baseline[key] - state_pipe_bd[key]).max()) for key in state_baseline
+    )
+
+    print(f"=== {name} ===")
+    for block_index in history_baseline.block_indices():
+        loss_baseline = history_baseline.final_loss(block_index)
+        loss_pipe_bd = history_pipe_bd.final_loss(block_index)
+        first = history_pipe_bd.losses[block_index][0]
+        print(
+            f"  block {block_index}: first loss {first:.4f} -> final loss "
+            f"baseline {loss_baseline:.6f} | pipe-bd {loss_pipe_bd:.6f}"
+        )
+    print(f"  max |parameter difference| between orderings: {max_diff:.3e}")
+    assert max_diff == 0.0, "decoupled updates must not change the result"
+    print("  -> bit-identical student parameters under both schedules\n")
+
+
+def main() -> None:
+    run_workload("Compression blocks (conv -> depthwise-separable)", build_compression_block_pairs)
+
+    dataset_label = "NAS blocks (mixed-op supernet students)"
+    run_workload(dataset_label, build_nas_block_pairs)
+
+    # Show the searched architecture derived from the trained supernet.
+    distiller = BlockwiseDistiller(build_nas_block_pairs(seed=42), lr=0.05)
+    distiller.train_decoupled(
+        SyntheticImageDataset(num_samples=96, sample_shape=(3, 8, 8), seed=23),
+        batch_size=8,
+        steps_per_block=10,
+    )
+    selections = [
+        derive_architecture(pair.student) for pair in distiller.pairs
+    ]
+    print("Selected candidate per searchable block (argmax of architecture params):", selections)
+
+
+if __name__ == "__main__":
+    main()

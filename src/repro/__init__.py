@@ -1,0 +1,37 @@
+"""Pipe-BD: Pipelined Parallel Blockwise Distillation — reproduction library.
+
+This package reproduces the system described in "Pipe-BD: Pipelined Parallel
+Blockwise Distillation" (DATE 2023).  It contains:
+
+* ``repro.models`` — layer-accurate architecture descriptions of the teacher
+  and student networks the paper evaluates (MobileNetV2, ProxylessNAS
+  supernet, VGG-16, depthwise-separable students).
+* ``repro.hardware`` — analytical models of the paper's multi-GPU servers
+  (RTX A6000 / RTX 2080Ti nodes, PCIe interconnects, shared host loaders).
+* ``repro.sim`` — a discrete-event simulator used to execute training
+  schedules on the modelled hardware.
+* ``repro.parallel`` — every scheduling strategy in the paper: the
+  data-parallel (DP) and layerwise-scheduling (LS) baselines, teacher
+  relaying (TR), decoupled parameter update (DPU), automatic hybrid
+  distribution (AHD) and internal relaying (IR).
+* ``repro.distill`` — a small numpy autograd engine plus blockwise
+  distillation trainers used to demonstrate that Pipe-BD's reordering does
+  not change the mathematical formulation.
+* ``repro.core`` — the Pipe-BD framework (Algorithm 1), experiment runner
+  and report formatting.
+* ``repro.analysis`` — breakdowns, speedups, memory reports and schedule
+  visualisation.
+"""
+
+from repro.version import __version__
+from repro.core.config import ExperimentConfig
+from repro.core.pipebd import PipeBD
+from repro.core.runner import run_experiment, run_ablation
+
+__all__ = [
+    "__version__",
+    "ExperimentConfig",
+    "PipeBD",
+    "run_experiment",
+    "run_ablation",
+]

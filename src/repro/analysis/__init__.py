@@ -1,0 +1,23 @@
+"""Post-processing: breakdowns, speedups, memory reports, schedule rendering."""
+
+from repro.analysis.breakdown import (
+    epoch_breakdown,
+    ideal_breakdown,
+    breakdown_fractions,
+)
+from repro.analysis.speedup import speedup_over, speedup_series, geometric_mean_speedup
+from repro.analysis.memory_report import per_rank_memory_gb, average_memory_overhead
+from repro.analysis.schedule_viz import render_gantt, schedule_summary
+
+__all__ = [
+    "epoch_breakdown",
+    "ideal_breakdown",
+    "breakdown_fractions",
+    "speedup_over",
+    "speedup_series",
+    "geometric_mean_speedup",
+    "per_rank_memory_gb",
+    "average_memory_overhead",
+    "render_gantt",
+    "schedule_summary",
+]

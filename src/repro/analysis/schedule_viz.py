@@ -1,0 +1,109 @@
+"""ASCII rendering of schedules and execution traces (paper Figs. 3 and 5b/c)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.parallel.plan import SchedulePlan
+from repro.sim.events import TaskKind
+from repro.sim.resources import device_compute
+from repro.sim.trace import Trace
+
+#: One-character glyph per task kind used in the Gantt rendering.
+KIND_GLYPHS: Dict[TaskKind, str] = {
+    TaskKind.DATA_LOAD: "D",
+    TaskKind.TEACHER_FORWARD: "T",
+    TaskKind.STUDENT_FORWARD: "S",
+    TaskKind.STUDENT_BACKWARD: "B",
+    TaskKind.WEIGHT_UPDATE: "U",
+    TaskKind.SEND: ">",
+    TaskKind.RECV: "<",
+    TaskKind.ALLREDUCE: "A",
+    TaskKind.BARRIER: "|",
+    TaskKind.VALIDATE: "V",
+}
+
+
+def schedule_summary(plan: SchedulePlan) -> str:
+    """Summarise which blocks each device handles (the Fig. 5b/5c content).
+
+    Example output for the paper's A6000 ImageNet schedule::
+
+        device 0: blocks 0-2 (shared with devices 0,1,2, batch 86)
+        device 3: blocks 3-5 (batch 256)
+    """
+    lines: List[str] = [f"strategy: {plan.strategy}, global batch {plan.batch_size}"]
+    if plan.kind == "pipeline":
+        for stage in plan.stages:
+            blocks = (
+                f"block {stage.first_block}"
+                if stage.first_block == stage.last_block
+                else f"blocks {stage.first_block}-{stage.last_block}"
+            )
+            micro = stage.per_device_batch(plan.batch_size)
+            for device in stage.device_ids:
+                if stage.num_devices > 1:
+                    shared = ",".join(str(d) for d in stage.device_ids)
+                    lines.append(
+                        f"device {device}: {blocks} (shared with devices {shared}, "
+                        f"per-device batch {micro})"
+                    )
+                else:
+                    lines.append(f"device {device}: {blocks} (per-device batch {micro})")
+    elif plan.kind == "layerwise":
+        assert plan.device_blocks is not None
+        for device in sorted(plan.device_blocks):
+            blocks = ",".join(str(b) for b in plan.device_blocks[device])
+            lines.append(f"device {device}: blocks {blocks} (full batch {plan.batch_size})")
+    else:
+        lines.append(
+            f"all devices: every block in sequence (per-device batch "
+            f"{plan.batch_size // plan.num_devices})"
+        )
+    return "\n".join(lines)
+
+
+def render_gantt(
+    trace: Trace,
+    num_devices: int,
+    width: int = 100,
+    start: float | None = None,
+    end: float | None = None,
+) -> str:
+    """Render the per-device compute timeline as an ASCII Gantt chart.
+
+    Each device's compute stream becomes one row of ``width`` characters;
+    each character covers an equal slice of the rendered interval and shows
+    the glyph of the task occupying most of that slice (``.`` for idle).
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    if start is None:
+        start = 0.0
+    if end is None:
+        end = trace.makespan
+    if end <= start:
+        return "(empty trace)"
+    span = end - start
+    slice_width = span / width
+
+    lines: List[str] = [f"time: {start:.4f}s .. {end:.4f}s  ({span * 1e3:.2f} ms)"]
+    for device in range(num_devices):
+        resource = device_compute(device)
+        records = [record for record in trace if record.resource == resource]
+        row = []
+        for slot in range(width):
+            slot_start = start + slot * slice_width
+            slot_end = slot_start + slice_width
+            best_glyph = "."
+            best_overlap = 0.0
+            for record in records:
+                overlap = min(record.end, slot_end) - max(record.start, slot_start)
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    best_glyph = KIND_GLYPHS.get(record.kind, "?")
+            row.append(best_glyph)
+        lines.append(f"gpu{device} |{''.join(row)}|")
+    legend = "  ".join(f"{glyph}={kind.value}" for kind, glyph in KIND_GLYPHS.items())
+    lines.append(f"legend: {legend}  .=idle")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""The Pipe-BD framework: configuration, planning (Algorithm 1) and runners."""
+
+from repro.core.config import ExperimentConfig
+from repro.core.ablation import ALL_STRATEGIES, PIPE_BD_STRATEGY, build_plan
+from repro.core.pipebd import PipeBD
+from repro.core.runner import run_experiment, run_ablation, ExperimentSuiteResult
+
+__all__ = [
+    "ExperimentConfig",
+    "ALL_STRATEGIES",
+    "PIPE_BD_STRATEGY",
+    "build_plan",
+    "PipeBD",
+    "run_experiment",
+    "run_ablation",
+    "ExperimentSuiteResult",
+]

@@ -1,0 +1,95 @@
+"""Strategy registry and ablation helpers (paper Fig. 4).
+
+The paper's ablation compares six points: the DP and LS baselines, TR alone,
+TR+DPU, the TR+IR alternative, and the full Pipe-BD (TR+DPU+AHD).  This
+module maps strategy names to their planners so the runner and benchmarks can
+iterate over them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.data.dataset import DatasetSpec
+from repro.errors import ConfigurationError
+from repro.hardware.server import ServerSpec
+from repro.models.pairs import DistillationPair
+from repro.parallel.baseline_dp import build_dp_plan
+from repro.parallel.baseline_ls import build_ls_plan
+from repro.parallel.decoupled import build_tr_dpu_plan
+from repro.parallel.hybrid import build_ahd_plan
+from repro.parallel.internal_relay import build_ir_plan
+from repro.parallel.plan import SchedulePlan
+from repro.parallel.profiler import Profiler, ProfileTable
+from repro.parallel.teacher_relay import build_tr_plan
+
+#: All strategies, in the order the paper plots them.
+ALL_STRATEGIES: Tuple[str, ...] = ("DP", "LS", "TR", "TR+DPU", "TR+IR", "TR+DPU+AHD")
+
+#: The ablation points shown in Fig. 4 / Fig. 5 / Fig. 6 (the paper sometimes
+#: omits TR+IR, which it discusses only for the A6000 NAS ablation).
+ABLATION_STRATEGIES: Tuple[str, ...] = ("DP", "LS", "TR", "TR+DPU", "TR+DPU+AHD")
+
+#: The strategy called "Pipe-BD" in Table II.
+PIPE_BD_STRATEGY: str = "TR+DPU+AHD"
+
+#: Baseline strategies.
+BASELINE_STRATEGIES: Tuple[str, ...] = ("DP", "LS")
+
+
+def needs_profile(strategy: str) -> bool:
+    """True if the strategy's planner consumes profiled block times."""
+    return strategy in ("LS", "TR", "TR+DPU", "TR+DPU+AHD")
+
+
+def make_profile(
+    pair: DistillationPair,
+    server: ServerSpec,
+    batch_size: int,
+) -> ProfileTable:
+    """Profile the pair at every batch size any planner may request.
+
+    The LS baseline scores blocks at the full batch size; the pipeline
+    planners use the per-device micro-batch sizes, which the profiler's
+    ``feasible_batches`` already covers.
+    """
+    profiler = Profiler(pair=pair, server=server)
+    return profiler.profile(global_batch=batch_size, extra_batches=(batch_size,))
+
+
+def build_plan(
+    strategy: str,
+    pair: DistillationPair,
+    server: ServerSpec,
+    batch_size: int,
+    dataset: DatasetSpec,
+    profile: Optional[ProfileTable] = None,
+) -> SchedulePlan:
+    """Build the plan for a named strategy.
+
+    A profile table is created on demand when the strategy needs one and the
+    caller did not supply it.
+    """
+    if strategy not in ALL_STRATEGIES:
+        raise ConfigurationError(
+            f"unknown strategy {strategy!r}; known strategies: {ALL_STRATEGIES}"
+        )
+    if needs_profile(strategy) and profile is None:
+        profile = make_profile(pair, server, batch_size)
+
+    if strategy == "DP":
+        return build_dp_plan(pair, server, batch_size)
+    if strategy == "LS":
+        assert profile is not None
+        return build_ls_plan(pair, server, batch_size, profile)
+    if strategy == "TR":
+        assert profile is not None
+        return build_tr_plan(pair, server, batch_size, profile, dataset, decoupled_update=False)
+    if strategy == "TR+DPU":
+        assert profile is not None
+        return build_tr_dpu_plan(pair, server, batch_size, profile, dataset)
+    if strategy == "TR+IR":
+        return build_ir_plan(pair, server, batch_size)
+    assert strategy == "TR+DPU+AHD"
+    assert profile is not None
+    return build_ahd_plan(pair, server, batch_size, profile, dataset)

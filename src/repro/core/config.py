@@ -1,0 +1,92 @@
+"""Experiment configuration objects.
+
+An :class:`ExperimentConfig` captures one cell of the paper's evaluation
+matrix — a workload (NAS or compression), a dataset (CIFAR-10 or ImageNet), a
+server (4x A6000 or 4x 2080Ti), a global batch size and a scheduling
+strategy — and knows how to materialise the model pair, dataset descriptor
+and server spec it refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.data.dataset import DatasetSpec, get_dataset
+from repro.errors import ConfigurationError
+from repro.hardware.server import ServerSpec, get_server
+from repro.models.pairs import DistillationPair, build_pair
+
+#: Tasks the paper evaluates (§VI-A).
+VALID_TASKS: Tuple[str, ...] = ("nas", "compression")
+#: Datasets the paper evaluates (§VI-B).
+VALID_DATASETS: Tuple[str, ...] = ("cifar10", "imagenet")
+#: Server presets the paper evaluates (Table I).
+VALID_SERVERS: Tuple[str, ...] = ("a6000", "2080ti")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment cell of the evaluation matrix."""
+
+    task: str = "nas"
+    dataset: str = "cifar10"
+    server: str = "a6000"
+    num_gpus: int = 4
+    batch_size: int = 256
+    strategy: str = "TR+DPU+AHD"
+    simulated_steps: int = 10
+    seed: int = 0
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.task not in VALID_TASKS:
+            raise ConfigurationError(f"task must be one of {VALID_TASKS}, got {self.task!r}")
+        if self.dataset not in VALID_DATASETS:
+            raise ConfigurationError(
+                f"dataset must be one of {VALID_DATASETS}, got {self.dataset!r}"
+            )
+        if self.server not in VALID_SERVERS:
+            raise ConfigurationError(
+                f"server must be one of {VALID_SERVERS}, got {self.server!r}"
+            )
+        if self.num_gpus < 1:
+            raise ConfigurationError("num_gpus must be >= 1")
+        if self.batch_size < self.num_gpus:
+            raise ConfigurationError(
+                f"batch_size ({self.batch_size}) must be >= num_gpus ({self.num_gpus})"
+            )
+        if self.simulated_steps < 4:
+            raise ConfigurationError("simulated_steps must be >= 4")
+
+    # ------------------------------------------------------------------ #
+    # Materialisation
+    # ------------------------------------------------------------------ #
+    def build_pair(self) -> DistillationPair:
+        """Teacher/student pair for this cell."""
+        return build_pair(self.task, self.dataset)
+
+    def build_server(self) -> ServerSpec:
+        """Server spec for this cell."""
+        return get_server(self.server, self.num_gpus)
+
+    def build_dataset(self) -> DatasetSpec:
+        """Dataset descriptor for this cell."""
+        return get_dataset(self.dataset)
+
+    # ------------------------------------------------------------------ #
+    def with_strategy(self, strategy: str) -> "ExperimentConfig":
+        """A copy of this config with a different scheduling strategy."""
+        return replace(self, strategy=strategy)
+
+    def with_batch_size(self, batch_size: int) -> "ExperimentConfig":
+        """A copy of this config with a different global batch size."""
+        return replace(self, batch_size=batch_size)
+
+    def with_server(self, server: str, num_gpus: int | None = None) -> "ExperimentConfig":
+        """A copy of this config targeting a different server preset."""
+        return replace(self, server=server, num_gpus=num_gpus or self.num_gpus)
+
+    def label(self) -> str:
+        """Short label used in reports, e.g. ``"nas/cifar10/a6000/b256"``."""
+        return f"{self.task}/{self.dataset}/{self.server}/b{self.batch_size}"

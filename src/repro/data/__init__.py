@@ -1,0 +1,6 @@
+"""Dataset descriptors and the shared data-loading cost model."""
+
+from repro.data.dataset import DatasetSpec, CIFAR10, IMAGENET, get_dataset
+from repro.data.loader import DataLoadModel
+
+__all__ = ["DatasetSpec", "CIFAR10", "IMAGENET", "get_dataset", "DataLoadModel"]

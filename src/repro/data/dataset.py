@@ -1,0 +1,102 @@
+"""Dataset descriptors for the two datasets the paper uses.
+
+The scheduler and simulator only need the quantities that affect throughput:
+how many training samples there are (steps per epoch), the decoded tensor
+size per sample (data-loading volume and the input activation of block 0),
+and the on-disk size per sample (storage read volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.models.layers import BYTES_PER_ELEMENT
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Throughput-relevant description of an image-classification dataset."""
+
+    name: str
+    num_train: int
+    num_val: int
+    sample_shape: Tuple[int, int, int]
+    num_classes: int
+    disk_bytes_per_sample: float
+    #: CPU time to decode + augment one sample on a single core, in seconds.
+    #: CIFAR-10 samples are raw tensors (cheap); ImageNet samples are JPEGs
+    #: whose decode dominates the loading pipeline.
+    per_sample_decode_cpu_s: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.num_train <= 0 or self.num_val < 0:
+            raise ConfigurationError(f"dataset {self.name!r} has invalid sample counts")
+        if len(self.sample_shape) != 3:
+            raise ConfigurationError("sample_shape must be (C, H, W)")
+        if self.per_sample_decode_cpu_s < 0:
+            raise ConfigurationError("per_sample_decode_cpu_s must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def decoded_bytes_per_sample(self) -> int:
+        """Bytes of one decoded FP32 input tensor (what reaches the GPU)."""
+        channels, height, width = self.sample_shape
+        return channels * height * width * BYTES_PER_ELEMENT
+
+    def steps_per_epoch(self, batch_size: int) -> int:
+        """Number of optimisation steps in one epoch (drop-last semantics)."""
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        steps = self.num_train // batch_size
+        if steps == 0:
+            raise ConfigurationError(
+                f"batch_size {batch_size} exceeds the dataset size {self.num_train}"
+            )
+        return steps
+
+    def batch_decoded_bytes(self, batch_size: int) -> float:
+        """Decoded bytes of one batch."""
+        return float(self.decoded_bytes_per_sample * batch_size)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_train:,} train / {self.num_val:,} val samples, "
+            f"{self.sample_shape}, {self.num_classes} classes"
+        )
+
+
+#: CIFAR-10: 50k train images of 3x32x32, ~3 KB raw binary on disk.
+CIFAR10 = DatasetSpec(
+    name="cifar10",
+    num_train=50_000,
+    num_val=10_000,
+    sample_shape=(3, 32, 32),
+    num_classes=10,
+    disk_bytes_per_sample=3_073.0,
+    per_sample_decode_cpu_s=150e-6,
+)
+
+#: ImageNet-1k: 1.28M train images, decoded to 3x224x224 crops, ~110 KB JPEG on disk.
+IMAGENET = DatasetSpec(
+    name="imagenet",
+    num_train=1_281_167,
+    num_val=50_000,
+    sample_shape=(3, 224, 224),
+    num_classes=1000,
+    disk_bytes_per_sample=110_000.0,
+    per_sample_decode_cpu_s=4e-3,
+)
+
+_KNOWN = {"cifar10": CIFAR10, "imagenet": IMAGENET}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset descriptor by name."""
+    key = name.lower()
+    if key not in _KNOWN:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; known datasets: {sorted(_KNOWN)}"
+        )
+    return _KNOWN[key]

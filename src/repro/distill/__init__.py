@@ -1,0 +1,61 @@
+"""Numerical blockwise distillation on a small numpy autograd engine.
+
+The scheduling work in :mod:`repro.parallel` treats training as opaque tasks;
+this subpackage provides the actual mathematics so the paper's key
+correctness claim — "Pipe-BD has no component that can hurt the accuracy
+because it only alters the scheduling strategy" (§VII-D) — can be verified:
+
+* :mod:`repro.distill.tensor` — a reverse-mode autodiff ``Tensor``.
+* :mod:`repro.distill.nn` — layers (conv, depthwise conv, linear, batch norm,
+  ReLU, pooling) and containers.
+* :mod:`repro.distill.supernet` — NAS mixed operations with architecture
+  parameters.
+* :mod:`repro.distill.loss` / :mod:`repro.distill.optim` — the blockwise
+  distillation loss and SGD with momentum.
+* :mod:`repro.distill.trainer` — blockwise distillation under the baseline's
+  sequential update order and under Pipe-BD's decoupled order; the two
+  produce identical parameters.
+"""
+
+from repro.distill.tensor import Tensor
+from repro.distill.nn import (
+    Module,
+    Linear,
+    Conv2d,
+    DepthwiseConv2d,
+    BatchNorm2d,
+    ReLU,
+    GlobalAvgPool,
+    Sequential,
+)
+from repro.distill.supernet import MixedOp
+from repro.distill.loss import blockwise_distillation_loss, mse_loss
+from repro.distill.optim import SGD
+from repro.distill.trainer import (
+    BlockPair,
+    BlockwiseDistiller,
+    train_sequential,
+    train_decoupled,
+)
+from repro.distill.datasets import SyntheticImageDataset
+
+__all__ = [
+    "Tensor",
+    "Module",
+    "Linear",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "GlobalAvgPool",
+    "Sequential",
+    "MixedOp",
+    "blockwise_distillation_loss",
+    "mse_loss",
+    "SGD",
+    "BlockPair",
+    "BlockwiseDistiller",
+    "train_sequential",
+    "train_decoupled",
+    "SyntheticImageDataset",
+]

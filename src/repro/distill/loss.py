@@ -1,0 +1,49 @@
+"""Loss functions for blockwise distillation.
+
+Blockwise distillation minimises ``L(delta_output)``, a measure of the
+difference between the teacher block's output activation and the student
+block's output activation for the same input (paper §II-A, Fig. 1).  The
+usual choice — used by DNA and by the compression literature — is the mean
+squared error between the two activations, optionally normalised per channel.
+"""
+
+from __future__ import annotations
+
+from repro.distill.tensor import Tensor, as_tensor
+from repro.errors import ShapeError
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    target = as_tensor(target)
+    if prediction.shape != target.shape:
+        raise ShapeError(
+            f"mse_loss shapes differ: {prediction.shape} vs {target.shape}"
+        )
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def blockwise_distillation_loss(student_out: Tensor, teacher_out: Tensor) -> Tensor:
+    """The per-block distillation loss ``L(delta_output)``.
+
+    The teacher activation is detached: the teacher is frozen and only
+    provides the regression target.
+    """
+    return mse_loss(student_out, teacher_out.detach())
+
+
+def cross_entropy_loss(logits: Tensor, labels) -> Tensor:
+    """Softmax cross-entropy with integer labels (used for validation heads)."""
+    import numpy as np
+
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ShapeError("cross_entropy_loss expects (batch, classes) logits")
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ShapeError("labels must be a 1-D array matching the batch size")
+    probabilities = logits.softmax(axis=-1)
+    one_hot = np.zeros(logits.shape)
+    one_hot[np.arange(labels.shape[0]), labels] = 1.0
+    picked = (probabilities * Tensor(one_hot)).sum(axis=-1)
+    return -(picked.log().mean())

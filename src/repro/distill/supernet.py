@@ -1,0 +1,101 @@
+"""NAS supernet components: mixed operations with architecture parameters.
+
+ProxylessNAS-style search associates every candidate operation of a layer
+with a trainable architecture parameter; each step the candidates' outputs
+are combined with the softmax of those parameters.  Each training step runs
+two rounds — one updating the architecture parameters, one updating the
+weights (paper §VI-A) — which :class:`repro.distill.trainer.BlockwiseDistiller`
+models with its ``rounds`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.distill.nn import Module
+from repro.distill.tensor import Tensor, stack
+from repro.errors import ConfigurationError
+
+
+class MixedOp(Module):
+    """A weighted mixture of candidate operations.
+
+    The output is ``sum_k softmax(alpha)_k * op_k(x)``; ``alpha`` is the
+    vector of architecture parameters.
+    """
+
+    def __init__(self, candidates: Sequence[Module]) -> None:
+        super().__init__()
+        if not candidates:
+            raise ConfigurationError("MixedOp requires at least one candidate")
+        self._candidate_names: List[str] = []
+        for index, candidate in enumerate(candidates):
+            name = f"op{index}"
+            self.register_module(name, candidate)
+            self._candidate_names.append(name)
+        self.alpha = self.register_parameter(
+            "alpha", Tensor(np.zeros(len(candidates)))
+        )
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self._candidate_names)
+
+    def candidate(self, index: int) -> Module:
+        return self._modules[self._candidate_names[index]]
+
+    def architecture_parameters(self) -> List[Tensor]:
+        return [self.alpha]
+
+    def weight_parameters(self) -> List[Tensor]:
+        parameters = []
+        for name in self._candidate_names:
+            parameters.extend(self._modules[name].parameters())
+        return parameters
+
+    def selection_probabilities(self) -> np.ndarray:
+        """Softmax of the architecture parameters (no gradient tracking)."""
+        logits = self.alpha.data - self.alpha.data.max()
+        exps = np.exp(logits)
+        return exps / exps.sum()
+
+    def selected_index(self) -> int:
+        """Index of the currently most probable candidate (the searched op)."""
+        return int(np.argmax(self.alpha.data))
+
+    def forward(self, x: Tensor) -> Tensor:
+        weights = self.alpha.softmax(axis=-1)
+        outputs = [self._modules[name](x) for name in self._candidate_names]
+        stacked = stack(outputs, axis=0)
+        # Broadcast the candidate weights over the candidate outputs.
+        weight_shape = (self.num_candidates,) + (1,) * outputs[0].ndim
+        weighted = stacked * weights.reshape(*weight_shape)
+        return weighted.sum(axis=0)
+
+
+def architecture_parameters(module: Module) -> List[Tensor]:
+    """Collect the architecture parameters of every MixedOp inside ``module``."""
+    collected: List[Tensor] = []
+    if isinstance(module, MixedOp):
+        collected.extend(module.architecture_parameters())
+    for child in module._modules.values():
+        collected.extend(architecture_parameters(child))
+    return collected
+
+
+def weight_parameters(module: Module) -> List[Tensor]:
+    """Collect every non-architecture parameter inside ``module``."""
+    arch_ids = {id(parameter) for parameter in architecture_parameters(module)}
+    return [parameter for parameter in module.parameters() if id(parameter) not in arch_ids]
+
+
+def derive_architecture(module: Module) -> List[int]:
+    """Selected candidate index of every MixedOp, in traversal order."""
+    selections: List[int] = []
+    if isinstance(module, MixedOp):
+        selections.append(module.selected_index())
+    for child in module._modules.values():
+        selections.extend(derive_architecture(child))
+    return selections

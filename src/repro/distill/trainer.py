@@ -1,0 +1,217 @@
+"""Blockwise distillation trainers: baseline ordering vs. Pipe-BD ordering.
+
+The paper's correctness argument (§IV-B, §VII-D) is that Pipe-BD changes only
+*when* each student block's update is applied relative to the other blocks,
+never *what* is computed: "the student blocks have no dependency on the
+weight parameters of the other blocks".  This module makes that argument
+executable:
+
+* :func:`train_sequential` trains the student blocks the way the DP baseline
+  does — block 0 for all its steps, then block 1, and so on — with a shared
+  synchronisation point between blocks.
+* :func:`train_decoupled` trains every block within each step, updating each
+  block's parameters as soon as its own backward pass finishes (Pipe-BD's
+  decoupled parameter update), with blocks conceptually living on different
+  devices.
+
+Given the same data order, both produce *identical* student parameters and
+losses, because each block's gradient depends only on the teacher (frozen)
+and on that block's own parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.distill.datasets import SyntheticImageDataset
+from repro.distill.loss import blockwise_distillation_loss
+from repro.distill.nn import Module, Sequential, conv_bn_relu, dsconv_bn_relu
+from repro.distill.optim import SGD
+from repro.distill.supernet import MixedOp
+from repro.distill.tensor import Tensor
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class BlockPair:
+    """A frozen teacher block and its trainable student block."""
+
+    index: int
+    teacher: Module
+    student: Module
+
+    def __post_init__(self) -> None:
+        self.teacher.eval()
+        self.student.train()
+
+
+@dataclass
+class TrainingHistory:
+    """Per-block loss curves recorded during training."""
+
+    losses: Dict[int, List[float]] = field(default_factory=dict)
+
+    def record(self, block_index: int, loss: float) -> None:
+        self.losses.setdefault(block_index, []).append(float(loss))
+
+    def final_loss(self, block_index: int) -> float:
+        curve = self.losses.get(block_index)
+        if not curve:
+            raise ConfigurationError(f"no losses recorded for block {block_index}")
+        return curve[-1]
+
+    def block_indices(self) -> Sequence[int]:
+        return sorted(self.losses)
+
+
+class BlockwiseDistiller:
+    """Runs blockwise distillation over a chain of block pairs."""
+
+    def __init__(
+        self,
+        pairs: Sequence[BlockPair],
+        lr: float = 0.05,
+        momentum: float = 0.9,
+    ) -> None:
+        if not pairs:
+            raise ConfigurationError("at least one block pair is required")
+        self.pairs = list(pairs)
+        self.optimizers = [
+            SGD(pair.student.parameters(), lr=lr, momentum=momentum) for pair in self.pairs
+        ]
+
+    # ------------------------------------------------------------------ #
+    def _teacher_activations(self, images: np.ndarray) -> List[Tensor]:
+        """Teacher activations at every block boundary (input of each block).
+
+        ``result[i]`` is the input activation of block ``i``; ``result[-1]``
+        is appended as the final teacher output so ``result[i + 1]`` is always
+        block ``i``'s regression target.
+        """
+        activations = [Tensor(images)]
+        current = Tensor(images)
+        for pair in self.pairs:
+            current = pair.teacher(current).detach()
+            activations.append(current)
+        return activations
+
+    def _train_block_step(self, block_index: int, activations: List[Tensor]) -> float:
+        """One forward/backward/update of a single student block."""
+        pair = self.pairs[block_index]
+        optimizer = self.optimizers[block_index]
+        block_input = activations[block_index]
+        teacher_output = activations[block_index + 1]
+        optimizer.zero_grad()
+        student_output = pair.student(block_input)
+        loss = blockwise_distillation_loss(student_output, teacher_output)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    # ------------------------------------------------------------------ #
+    def train_sequential(
+        self, dataset: SyntheticImageDataset, batch_size: int, steps_per_block: int
+    ) -> TrainingHistory:
+        """Baseline ordering: finish all of block i's steps before block i+1."""
+        history = TrainingHistory()
+        for block_index in range(len(self.pairs)):
+            for step in range(steps_per_block):
+                images, _ = dataset.batch(step * batch_size, batch_size)
+                activations = self._teacher_activations(images)
+                loss = self._train_block_step(block_index, activations)
+                history.record(block_index, loss)
+        return history
+
+    def train_decoupled(
+        self, dataset: SyntheticImageDataset, batch_size: int, steps_per_block: int
+    ) -> TrainingHistory:
+        """Pipe-BD ordering: every step trains every block, updates decoupled.
+
+        Block ``i`` updates as soon as its own backward finishes; blocks later
+        in the chain use *teacher* activations (never student activations), so
+        the interleaving cannot change any block's gradients.
+        """
+        history = TrainingHistory()
+        for step in range(steps_per_block):
+            images, _ = dataset.batch(step * batch_size, batch_size)
+            activations = self._teacher_activations(images)
+            for block_index in range(len(self.pairs)):
+                loss = self._train_block_step(block_index, activations)
+                history.record(block_index, loss)
+        return history
+
+    # ------------------------------------------------------------------ #
+    def student_state(self) -> Dict[str, np.ndarray]:
+        """Concatenated state dict of every student block."""
+        state: Dict[str, np.ndarray] = {}
+        for pair in self.pairs:
+            for name, value in pair.student.state_dict().items():
+                state[f"block{pair.index}.{name}"] = value
+        return state
+
+
+# ---------------------------------------------------------------------- #
+# Small model factories used by tests, examples and the parity benchmark
+# ---------------------------------------------------------------------- #
+def build_compression_block_pairs(
+    channels: Sequence[int] = (8, 16, 16),
+    seed: int = 0,
+) -> List[BlockPair]:
+    """Tiny VGG-like teacher blocks with depthwise-separable student blocks."""
+    rng = np.random.default_rng(seed)
+    pairs: List[BlockPair] = []
+    in_channels = 3
+    for index, out_channels in enumerate(channels):
+        teacher = conv_bn_relu(in_channels, out_channels, rng=rng)
+        student = dsconv_bn_relu(in_channels, out_channels, rng=rng)
+        pairs.append(BlockPair(index=index, teacher=teacher, student=student))
+        in_channels = out_channels
+    return pairs
+
+
+def build_nas_block_pairs(
+    channels: Sequence[int] = (8, 16),
+    kernel_sizes: Sequence[int] = (1, 3),
+    seed: int = 0,
+) -> List[BlockPair]:
+    """Tiny teacher blocks with mixed-op (searchable) student blocks."""
+    rng = np.random.default_rng(seed)
+    pairs: List[BlockPair] = []
+    in_channels = 3
+    for index, out_channels in enumerate(channels):
+        teacher = conv_bn_relu(in_channels, out_channels, rng=rng)
+        candidates = [
+            conv_bn_relu(in_channels, out_channels, kernel=kernel, rng=rng)
+            for kernel in kernel_sizes
+        ]
+        student = Sequential(MixedOp(candidates))
+        pairs.append(BlockPair(index=index, teacher=teacher, student=student))
+        in_channels = out_channels
+    return pairs
+
+
+def train_sequential(
+    pairs: Sequence[BlockPair],
+    dataset: SyntheticImageDataset,
+    batch_size: int = 8,
+    steps_per_block: int = 4,
+    lr: float = 0.05,
+) -> TrainingHistory:
+    """Convenience wrapper: train with the baseline's sequential ordering."""
+    distiller = BlockwiseDistiller(pairs, lr=lr)
+    return distiller.train_sequential(dataset, batch_size, steps_per_block)
+
+
+def train_decoupled(
+    pairs: Sequence[BlockPair],
+    dataset: SyntheticImageDataset,
+    batch_size: int = 8,
+    steps_per_block: int = 4,
+    lr: float = 0.05,
+) -> TrainingHistory:
+    """Convenience wrapper: train with Pipe-BD's decoupled ordering."""
+    distiller = BlockwiseDistiller(pairs, lr=lr)
+    return distiller.train_decoupled(dataset, batch_size, steps_per_block)

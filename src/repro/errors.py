@@ -1,0 +1,25 @@
+"""Exception hierarchy for the Pipe-BD reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment or model configuration is invalid."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a schedule plan is malformed or infeasible."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation cannot make progress."""
+
+
+class MemoryCapacityError(ReproError):
+    """Raised when a plan does not fit in a device's memory capacity."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensor or layer shapes are inconsistent."""

@@ -1,0 +1,44 @@
+"""Analytical hardware models of the paper's single-node multi-GPU servers.
+
+The paper evaluates on two servers (Table I):
+
+* Default: 4x NVIDIA RTX A6000 + 1x AMD EPYC 7302 (16 cores), PCIe 4.0.
+* Alternative: 4x NVIDIA RTX 2080Ti + 2x Intel Xeon Silver 4214, PCIe 3.0.
+
+None of that hardware is available here, so this subpackage replaces it with
+calibrated analytical models: a roofline-style per-layer execution-time model
+with a batch-size-dependent efficiency curve (capturing the small-batch
+under-utilization that motivates teacher relaying), a PCIe transfer model for
+activation relaying and gradient all-reduce, a shared host data-loading model,
+and memory-footprint accounting for Fig. 7.
+"""
+
+from repro.hardware.gpu import GPUSpec, RTX_A6000, RTX_2080TI
+from repro.hardware.interconnect import InterconnectSpec, PCIE_3, PCIE_4
+from repro.hardware.host import HostSpec, EPYC_7302, XEON_4214_DUAL
+from repro.hardware.cost_model import CostModel
+from repro.hardware.memory import MemoryModel
+from repro.hardware.server import (
+    ServerSpec,
+    default_a6000_server,
+    alternative_2080ti_server,
+    get_server,
+)
+
+__all__ = [
+    "GPUSpec",
+    "RTX_A6000",
+    "RTX_2080TI",
+    "InterconnectSpec",
+    "PCIE_3",
+    "PCIE_4",
+    "HostSpec",
+    "EPYC_7302",
+    "XEON_4214_DUAL",
+    "CostModel",
+    "MemoryModel",
+    "ServerSpec",
+    "default_a6000_server",
+    "alternative_2080ti_server",
+    "get_server",
+]

@@ -1,0 +1,120 @@
+"""Roofline-style execution-time model for blocks on a GPU.
+
+Every "execution time" used by the schedulers and the discrete-event
+simulator comes from this module.  The per-layer forward time is
+
+    t_fwd(layer, batch) = max(compute_time, memory_time) + launch_overhead
+
+where ``compute_time = batch * flops / effective_flops(batch, kind)`` and
+``memory_time = batch * traffic_bytes / mem_bandwidth``.  Backward passes are
+modelled as ``BACKWARD_FLOP_FACTOR`` times the forward compute (the usual
+2x: grad-input plus grad-weight GEMMs), with the same bandwidth term.
+
+The model intentionally reproduces the *relationships* the paper's evaluation
+relies on — block-0 dominance at ImageNet resolution, poor efficiency at
+small per-device batches, memory-bound depthwise convolutions — rather than
+absolute wall-clock numbers of the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.blocks import BlockSpec
+from repro.models.layers import LayerSpec
+from repro.models.network import NetworkSpec
+from repro.hardware.gpu import GPUSpec
+
+#: Backward-pass FLOPs relative to forward (grad-input + grad-weight).
+BACKWARD_FLOP_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Execution-time estimates for one GPU type."""
+
+    gpu: GPUSpec
+
+    # ------------------------------------------------------------------ #
+    # Layer-level estimates
+    # ------------------------------------------------------------------ #
+    def layer_forward_time(self, layer: LayerSpec, batch: int) -> float:
+        """Forward time of one layer for a per-device batch."""
+        self._check_batch(batch)
+        if batch == 0:
+            return 0.0
+        work_macs = layer.macs * batch
+        flops = layer.flops * batch
+        # Activations are read/written once per sample; weights are read once
+        # per kernel launch regardless of the batch size.
+        traffic = (layer.in_bytes + layer.out_bytes) * batch + layer.weight_bytes
+        compute_time = flops / self.gpu.effective_flops(work_macs, layer.kind)
+        memory_time = traffic / self.gpu.mem_bandwidth
+        return max(compute_time, memory_time) + self.gpu.kernel_launch_overhead_s
+
+    def layer_backward_time(self, layer: LayerSpec, batch: int) -> float:
+        """Backward time of one layer for a per-device batch."""
+        self._check_batch(batch)
+        if batch == 0:
+            return 0.0
+        work_macs = BACKWARD_FLOP_FACTOR * layer.macs * batch
+        flops = BACKWARD_FLOP_FACTOR * layer.flops * batch
+        # Backward reads the stored activation and the upstream gradient and
+        # writes both gradients: roughly twice the forward activation traffic,
+        # plus one read and one write of the weights (grad-weight output).
+        traffic = 2.0 * (layer.in_bytes + layer.out_bytes) * batch + 2.0 * layer.weight_bytes
+        compute_time = flops / self.gpu.effective_flops(work_macs, layer.kind)
+        memory_time = traffic / self.gpu.mem_bandwidth
+        return max(compute_time, memory_time) + self.gpu.kernel_launch_overhead_s
+
+    # ------------------------------------------------------------------ #
+    # Block-level estimates
+    # ------------------------------------------------------------------ #
+    def block_forward_time(self, block: BlockSpec, batch: int) -> float:
+        """Forward time of a whole block (teacher or student)."""
+        return sum(self.layer_forward_time(layer, batch) for layer in block.layers)
+
+    def block_backward_time(self, block: BlockSpec, batch: int) -> float:
+        """Backward time of a whole block (student only; teachers are frozen)."""
+        return sum(self.layer_backward_time(layer, batch) for layer in block.layers)
+
+    def block_training_time(self, block: BlockSpec, batch: int) -> float:
+        """Forward + backward time of a student block."""
+        return self.block_forward_time(block, batch) + self.block_backward_time(block, batch)
+
+    def weight_update_time(self, block: BlockSpec, batch: int = 0) -> float:
+        """SGD weight-update time for a block (bandwidth bound over params).
+
+        Momentum SGD reads the weight and momentum buffers and writes both:
+        roughly four parameter-sized tensors of traffic.
+        """
+        del batch  # update cost is independent of the batch size
+        traffic = 4.0 * block.weight_bytes
+        return traffic / self.gpu.mem_bandwidth + self.gpu.kernel_launch_overhead_s
+
+    # ------------------------------------------------------------------ #
+    # Network-level estimates
+    # ------------------------------------------------------------------ #
+    def network_forward_time(self, network: NetworkSpec, batch: int) -> float:
+        """Forward time of an entire network."""
+        return sum(self.block_forward_time(block, batch) for block in network.blocks)
+
+    def prefix_forward_time(self, network: NetworkSpec, end_block: int, batch: int) -> float:
+        """Forward time of blocks ``0 .. end_block`` inclusive.
+
+        This is the per-step teacher cost the DP/LS baselines pay to train
+        student block ``end_block``.
+        """
+        if end_block < 0 or end_block >= network.num_blocks:
+            raise ConfigurationError(f"end_block {end_block} out of range")
+        return sum(
+            self.block_forward_time(network.block(index), batch)
+            for index in range(end_block + 1)
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_batch(batch: int) -> None:
+        if batch < 0:
+            raise ConfigurationError(f"batch must be non-negative, got {batch}")

@@ -1,0 +1,88 @@
+"""Host (CPU + storage) model: the shared data-loading path.
+
+The paper's third inefficiency is *extra data loading*: under the DP and LS
+baselines the dataset is read and decoded once per student block, and "as the
+memory and disks are shared system-wide, the extra data loading becomes
+another significant overhead" (§I).  We model the host loader as a shared
+resource with a fixed per-sample decode/copy cost; concurrent loads from
+multiple training processes contend for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Analytical model of the host CPU + storage data-loading path.
+
+    Attributes
+    ----------
+    name:
+        Host description (``"1x EPYC 7302"``).
+    num_cores:
+        Physical core count (determines how many loader workers run at once).
+    loader_throughput_gbs:
+        Aggregate throughput of the decode + host-to-device copy pipeline in
+        GB/s of *decoded* tensor data when fully parallel.
+    per_batch_overhead_s:
+        Fixed per-batch overhead (collation, queueing) in seconds.
+    memory_gb:
+        Host DRAM capacity (for documentation; not a bottleneck we model).
+    """
+
+    name: str
+    num_cores: int
+    loader_throughput_gbs: float
+    per_batch_overhead_s: float = 1e-3
+    memory_gb: float = 256.0
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ConfigurationError("num_cores must be positive")
+        if self.loader_throughput_gbs <= 0:
+            raise ConfigurationError("loader_throughput_gbs must be positive")
+
+    @property
+    def loader_throughput(self) -> float:
+        """Loader throughput in bytes/s."""
+        return self.loader_throughput_gbs * 1e9
+
+    def batch_load_time(self, num_bytes: float, concurrent_loaders: int = 1) -> float:
+        """Time to load one batch of ``num_bytes`` decoded tensor data.
+
+        ``concurrent_loaders`` is the number of training processes loading at
+        the same time; the shared loader throughput is divided among them,
+        which is how the baselines' redundant loading turns into wall-clock
+        overhead.
+        """
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        if concurrent_loaders < 1:
+            raise ConfigurationError("concurrent_loaders must be >= 1")
+        effective = self.loader_throughput / concurrent_loaders
+        return self.per_batch_overhead_s + num_bytes / effective
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_cores} cores, "
+            f"{self.loader_throughput_gbs:.1f} GB/s loader throughput"
+        )
+
+
+#: Default server host: one AMD EPYC 7302 (16 cores).
+EPYC_7302 = HostSpec(
+    name="1x AMD EPYC 7302",
+    num_cores=16,
+    loader_throughput_gbs=6.0,
+)
+
+#: Alternative server host: two Intel Xeon Silver 4214 (2 x 12 cores).
+XEON_4214_DUAL = HostSpec(
+    name="2x Intel Xeon Silver 4214",
+    num_cores=24,
+    loader_throughput_gbs=5.0,
+)

@@ -1,0 +1,43 @@
+"""Architecture descriptions of the networks evaluated in the paper.
+
+The simulator never runs real tensors through these networks; it only needs
+accurate *shapes*, *parameter counts*, *MAC counts* and *activation sizes*
+per layer.  Those are exactly what this subpackage provides, for the four
+architectures the paper uses:
+
+* :func:`repro.models.mobilenetv2.build_mobilenetv2` — the NAS teacher.
+* :func:`repro.models.proxylessnas.build_proxylessnas_supernet` — the NAS
+  student search space (ProxylessNAS backbone with kernel sizes 3/5/7 and
+  expansion ratios 3/6, as in Table I of the paper).
+* :func:`repro.models.vgg.build_vgg16` — the model-compression teacher.
+* :func:`repro.models.dsconv.build_dsconv_student` — the depthwise-separable
+  replacement student used for compression.
+"""
+
+from repro.models.layers import LayerSpec
+from repro.models.blocks import BlockSpec
+from repro.models.network import NetworkSpec
+from repro.models.mobilenetv2 import build_mobilenetv2
+from repro.models.proxylessnas import build_proxylessnas_supernet
+from repro.models.vgg import build_vgg16
+from repro.models.dsconv import build_dsconv_student
+from repro.models.pairs import (
+    DistillationPair,
+    build_nas_pair,
+    build_compression_pair,
+    build_pair,
+)
+
+__all__ = [
+    "LayerSpec",
+    "BlockSpec",
+    "NetworkSpec",
+    "build_mobilenetv2",
+    "build_proxylessnas_supernet",
+    "build_vgg16",
+    "build_dsconv_student",
+    "DistillationPair",
+    "build_nas_pair",
+    "build_compression_pair",
+    "build_pair",
+]

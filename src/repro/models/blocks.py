@@ -1,0 +1,198 @@
+"""Block specifications: contiguous groups of layers used for distillation.
+
+Blockwise distillation (paper §II-A) splits a network into a small number of
+blocks; each teacher block / student block pair is trained independently.
+:class:`BlockSpec` aggregates the per-layer costs that the hardware cost model
+and the schedulers need: MACs, parameters, activation footprints and the size
+of the block's output activation (what gets relayed between devices under
+teacher relaying).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ShapeError
+from repro.models.layers import BYTES_PER_ELEMENT, LayerSpec, check_chain
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """A contiguous group of layers treated as one distillation block."""
+
+    name: str
+    index: int
+    layers: Tuple[LayerSpec, ...]
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ShapeError(f"block {self.name!r} has no layers")
+        check_chain(self.layers)
+
+    # ------------------------------------------------------------------ #
+    # Shapes
+    # ------------------------------------------------------------------ #
+    @property
+    def in_shape(self) -> Tuple[int, ...]:
+        return self.layers[0].in_shape
+
+    @property
+    def out_shape(self) -> Tuple[int, ...]:
+        return self.layers[-1].out_shape
+
+    # ------------------------------------------------------------------ #
+    # Compute / parameter costs
+    # ------------------------------------------------------------------ #
+    @property
+    def macs(self) -> float:
+        """Forward MACs per sample."""
+        return float(sum(layer.macs for layer in self.layers))
+
+    @property
+    def flops(self) -> float:
+        """Forward FLOPs per sample."""
+        return 2.0 * self.macs
+
+    @property
+    def params(self) -> int:
+        return int(sum(layer.params for layer in self.layers))
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.params * BYTES_PER_ELEMENT
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    # ------------------------------------------------------------------ #
+    # Activation footprints
+    # ------------------------------------------------------------------ #
+    @property
+    def input_bytes_per_sample(self) -> int:
+        """Bytes of the block's input activation for one sample."""
+        return self.layers[0].in_bytes
+
+    @property
+    def output_bytes_per_sample(self) -> int:
+        """Bytes of the block's output activation for one sample.
+
+        This is the tensor relayed to the next device under teacher relaying.
+        """
+        return self.layers[-1].out_bytes
+
+    @property
+    def activation_bytes_per_sample(self) -> int:
+        """Total bytes of all intermediate activations for one sample.
+
+        During a student backward pass every intermediate activation must be
+        kept resident; this is the dominant memory term for early blocks with
+        large spatial dimensions (paper §VII-C).
+        """
+        total = self.layers[0].in_bytes
+        total += sum(layer.out_bytes for layer in self.layers)
+        return int(total)
+
+    @property
+    def peak_activation_bytes_per_sample(self) -> int:
+        """Largest single intermediate activation (forward-only residency)."""
+        peak = self.layers[0].in_bytes
+        for layer in self.layers:
+            peak = max(peak, layer.out_bytes)
+        return int(peak)
+
+    @property
+    def memory_traffic_bytes_per_sample(self) -> int:
+        """Per-sample memory traffic of a forward pass through the block."""
+        return int(sum(layer.memory_traffic_bytes for layer in self.layers))
+
+    # ------------------------------------------------------------------ #
+    # Utility
+    # ------------------------------------------------------------------ #
+    def layer_names(self) -> Tuple[str, ...]:
+        return tuple(layer.name for layer in self.layers)
+
+    def describe(self) -> str:
+        """One-line summary used in reports and schedule visualisations."""
+        return (
+            f"block[{self.index}] {self.name:<12s} layers={self.num_layers:<3d} "
+            f"in={self.in_shape} out={self.out_shape} "
+            f"params={self.params:,} macs={self.macs:,.0f}"
+        )
+
+    def with_index(self, index: int) -> "BlockSpec":
+        """Return a copy of this block with a different index."""
+        return BlockSpec(
+            name=self.name,
+            index=index,
+            layers=self.layers,
+            metadata=dict(self.metadata),
+        )
+
+
+def group_layers_into_blocks(
+    layers: Tuple[LayerSpec, ...],
+    boundaries: Tuple[int, ...],
+    name_prefix: str = "block",
+) -> Tuple[BlockSpec, ...]:
+    """Split a flat layer chain into blocks at the given boundary indices.
+
+    ``boundaries`` are exclusive end indices of each block, e.g. for 10 layers
+    and ``boundaries=(3, 7, 10)`` the blocks contain layers ``[0:3]``,
+    ``[3:7]`` and ``[7:10]``.
+    """
+    if not boundaries:
+        raise ShapeError("at least one block boundary is required")
+    if sorted(boundaries) != list(boundaries):
+        raise ShapeError(f"boundaries must be increasing, got {boundaries}")
+    if boundaries[-1] != len(layers):
+        raise ShapeError(
+            f"last boundary ({boundaries[-1]}) must equal the layer count ({len(layers)})"
+        )
+    blocks = []
+    start = 0
+    for block_index, end in enumerate(boundaries):
+        if end <= start:
+            raise ShapeError(f"block {block_index} would be empty (start={start}, end={end})")
+        blocks.append(
+            BlockSpec(
+                name=f"{name_prefix}{block_index}",
+                index=block_index,
+                layers=tuple(layers[start:end]),
+            )
+        )
+        start = end
+    return tuple(blocks)
+
+
+def balanced_boundaries(layers: Tuple[LayerSpec, ...], num_blocks: int) -> Tuple[int, ...]:
+    """Choose block boundaries that roughly balance MACs across blocks.
+
+    A simple greedy sweep: accumulate layers until the running MAC total
+    reaches the next multiple of ``total / num_blocks``.  The final boundary
+    always covers the remaining layers.  Used when an architecture does not
+    have natural stage boundaries.
+    """
+    if num_blocks <= 0:
+        raise ShapeError("num_blocks must be positive")
+    if num_blocks > len(layers):
+        raise ShapeError(
+            f"cannot split {len(layers)} layers into {num_blocks} blocks"
+        )
+    total = sum(layer.macs for layer in layers)
+    target = total / num_blocks
+    boundaries = []
+    accumulated = 0.0
+    for index, layer in enumerate(layers):
+        accumulated += layer.macs
+        remaining_layers = len(layers) - (index + 1)
+        remaining_blocks = num_blocks - len(boundaries) - 1
+        if len(boundaries) < num_blocks - 1 and (
+            accumulated >= target * (len(boundaries) + 1)
+            or remaining_layers <= remaining_blocks
+        ):
+            boundaries.append(index + 1)
+    boundaries.append(len(layers))
+    return tuple(boundaries)

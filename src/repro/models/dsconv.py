@@ -1,0 +1,39 @@
+"""Depthwise-separable convolution student (model-compression workload).
+
+The compression student replaces every standard 3x3 convolution of VGG-16
+with a depthwise-separable pair (3x3 depthwise + 1x1 pointwise), following
+MobileNets (Howard et al.) and the parallel blockwise distillation setup of
+Blakeney et al. — the configuration the paper lists in Table I
+("Replacement: DS-Conv").  The stage/block structure exactly mirrors the
+teacher so that every student block consumes and produces the same activation
+shapes as the corresponding teacher block.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models import layers as L
+from repro.models.network import NetworkSpec
+from repro.models.vgg import build_vgg16_with_conv
+
+
+def _dsconv_unit(name: str, in_shape, out_channels) -> List[L.LayerSpec]:
+    """A depthwise-separable replacement for a 3x3 conv unit."""
+    depthwise = L.depthwise_conv2d(f"{name}.dw", in_shape, kernel=3, stride=1)
+    pointwise = L.pointwise_conv2d(f"{name}.pw", depthwise.out_shape, out_channels)
+    return [
+        depthwise,
+        L.batch_norm(f"{name}.dw_bn", depthwise.out_shape),
+        L.relu(f"{name}.dw_relu", depthwise.out_shape),
+        pointwise,
+        L.batch_norm(f"{name}.pw_bn", pointwise.out_shape),
+        L.relu(f"{name}.pw_relu", pointwise.out_shape),
+    ]
+
+
+def build_dsconv_student(dataset: str = "cifar10") -> NetworkSpec:
+    """Build the DS-Conv student with VGG-16's stage and block structure."""
+    return build_vgg16_with_conv(
+        dataset, _dsconv_unit, name="DSConv-student", block_name_prefix="ds"
+    )

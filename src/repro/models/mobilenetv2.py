@@ -1,0 +1,192 @@
+"""MobileNetV2 teacher model (paper Table I, NAS workload).
+
+The paper uses a pre-trained MobileNetV2 as the teacher for block-wisely
+supervised NAS (following DNA).  We build the standard architecture
+(Sandler et al., CVPR 2018) for both the ImageNet (224x224) and the CIFAR-10
+(32x32) input resolutions, then group its inverted-residual stages into six
+distillation blocks — the block count used in the paper's Fig. 5 schedules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.models import layers as L
+from repro.models.blocks import BlockSpec
+from repro.models.network import NetworkSpec
+
+#: Inverted-residual stage settings: (expansion, out_channels, repeats, stride).
+INVERTED_RESIDUAL_SETTINGS: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+#: Stage index (into the settings above, with -1 = stem) at which each of the
+#: six distillation blocks begins.  Chosen to follow DNA's six-block split.
+BLOCK_STAGE_GROUPS: Tuple[Tuple[int, ...], ...] = (
+    (-1, 0, 1),   # stem + 16-channel stage + 24-channel stage
+    (2,),         # 32-channel stage
+    (3,),         # 64-channel stage
+    (4,),         # 96-channel stage
+    (5,),         # 160-channel stage
+    (6, 7),       # 320-channel stage + head conv + classifier (7 = head marker)
+)
+
+
+def _dataset_input(dataset: str) -> Tuple[Tuple[int, int, int], int, int]:
+    """Return (input_shape, num_classes, stem_stride) for a dataset name."""
+    dataset = dataset.lower()
+    if dataset == "cifar10":
+        return (3, 32, 32), 10, 1
+    if dataset == "imagenet":
+        return (3, 224, 224), 1000, 2
+    raise ConfigurationError(f"unknown dataset {dataset!r}; expected 'cifar10' or 'imagenet'")
+
+
+def _inverted_residual(
+    name: str,
+    in_shape: Tuple[int, int, int],
+    out_channels: int,
+    expansion: int,
+    stride: int,
+    kernel: int = 3,
+) -> List[L.LayerSpec]:
+    """Layers of one MobileNetV2 inverted-residual unit."""
+    in_channels = in_shape[0]
+    hidden = in_channels * expansion
+    layer_list: List[L.LayerSpec] = []
+    shape = in_shape
+    if expansion != 1:
+        expand = L.pointwise_conv2d(f"{name}.expand", shape, hidden)
+        layer_list.append(expand)
+        layer_list.append(L.batch_norm(f"{name}.expand_bn", expand.out_shape))
+        layer_list.append(L.relu(f"{name}.expand_relu", expand.out_shape))
+        shape = expand.out_shape
+    dw = L.depthwise_conv2d(f"{name}.dw", shape, kernel=kernel, stride=stride)
+    layer_list.append(dw)
+    layer_list.append(L.batch_norm(f"{name}.dw_bn", dw.out_shape))
+    layer_list.append(L.relu(f"{name}.dw_relu", dw.out_shape))
+    project = L.pointwise_conv2d(f"{name}.project", dw.out_shape, out_channels)
+    layer_list.append(project)
+    layer_list.append(L.batch_norm(f"{name}.project_bn", project.out_shape))
+    if stride == 1 and in_channels == out_channels:
+        layer_list.append(L.add_residual(f"{name}.residual", project.out_shape))
+    return layer_list
+
+
+def _build_stage_layers(
+    dataset: str, width_mult: float
+) -> Tuple[List[List[L.LayerSpec]], Tuple[int, int, int], int]:
+    """Build per-stage layer lists.
+
+    Returns ``(stages, input_shape, num_classes)`` where ``stages`` has one
+    entry for the stem (index 0 corresponds to stage ``-1`` in
+    :data:`BLOCK_STAGE_GROUPS`), one per inverted-residual stage, and one for
+    the head (1x1 conv + pooling + classifier).
+    """
+    input_shape, num_classes, stem_stride = _dataset_input(dataset)
+    stages: List[List[L.LayerSpec]] = []
+
+    stem_channels = L.scaled_channels(32, width_mult)
+    stem_conv = L.conv2d("stem.conv", input_shape, stem_channels, kernel=3, stride=stem_stride)
+    stem = [
+        stem_conv,
+        L.batch_norm("stem.bn", stem_conv.out_shape),
+        L.relu("stem.relu", stem_conv.out_shape),
+    ]
+    stages.append(stem)
+    shape = stem_conv.out_shape
+
+    for stage_index, (expansion, channels, repeats, stride) in enumerate(
+        INVERTED_RESIDUAL_SETTINGS
+    ):
+        out_channels = L.scaled_channels(channels, width_mult)
+        # CIFAR-10 variant keeps the first two downsampling stages at stride 1
+        # so the 32x32 input is not reduced too aggressively.
+        effective_stride = stride
+        if dataset.lower() == "cifar10" and stage_index == 1:
+            effective_stride = 1
+        stage_layers: List[L.LayerSpec] = []
+        for repeat in range(repeats):
+            unit_stride = effective_stride if repeat == 0 else 1
+            unit = _inverted_residual(
+                f"stage{stage_index}.unit{repeat}",
+                shape,
+                out_channels,
+                expansion,
+                unit_stride,
+            )
+            stage_layers.extend(unit)
+            shape = unit[-1].out_shape
+        stages.append(stage_layers)
+
+    head_channels = L.scaled_channels(1280, max(1.0, width_mult))
+    head_conv = L.pointwise_conv2d("head.conv", shape, head_channels)
+    gap = L.global_avg_pool("head.gap", head_conv.out_shape)
+    classifier = L.linear("head.classifier", head_channels, num_classes)
+    head = [
+        head_conv,
+        L.batch_norm("head.bn", head_conv.out_shape),
+        L.relu("head.relu", head_conv.out_shape),
+        gap,
+        classifier,
+    ]
+    stages.append(head)
+    return stages, input_shape, num_classes
+
+
+def build_mobilenetv2(
+    dataset: str = "cifar10",
+    width_mult: float = 1.0,
+    num_blocks: int = 6,
+) -> NetworkSpec:
+    """Build the MobileNetV2 teacher grouped into distillation blocks.
+
+    Parameters
+    ----------
+    dataset:
+        ``"cifar10"`` (32x32 input, 10 classes) or ``"imagenet"`` (224x224,
+        1000 classes).
+    width_mult:
+        Channel width multiplier; 1.0 reproduces the paper's teacher.
+    num_blocks:
+        Number of distillation blocks; the paper (and DNA) use 6.
+    """
+    if num_blocks != len(BLOCK_STAGE_GROUPS):
+        raise ConfigurationError(
+            f"MobileNetV2 teacher supports {len(BLOCK_STAGE_GROUPS)} blocks, "
+            f"requested {num_blocks}"
+        )
+    stages, input_shape, num_classes = _build_stage_layers(dataset, width_mult)
+    # Stage list layout: stages[0] is the stem ('-1'), stages[1..7] are the
+    # seven inverted-residual stages, stages[8] is the head (marker '7').
+    blocks: List[BlockSpec] = []
+    for block_index, group in enumerate(BLOCK_STAGE_GROUPS):
+        block_layers: List[L.LayerSpec] = []
+        for stage_marker in group:
+            if stage_marker == -1:
+                block_layers.extend(stages[0])
+            elif stage_marker == 7:
+                block_layers.extend(stages[8])
+            else:
+                block_layers.extend(stages[stage_marker + 1])
+        blocks.append(
+            BlockSpec(
+                name=f"mbv2.block{block_index}",
+                index=block_index,
+                layers=tuple(block_layers),
+            )
+        )
+    return NetworkSpec(
+        name=f"MobileNetV2-{dataset.lower()}",
+        blocks=tuple(blocks),
+        input_shape=input_shape,
+        num_classes=num_classes,
+        metadata={"dataset": dataset.lower(), "width_mult": width_mult},
+    )

@@ -1,0 +1,136 @@
+"""VGG-16 teacher model (paper Table I, model-compression workload).
+
+The compression workload distils VGG-16 into depthwise-separable replacement
+blocks (Blakeney et al., TPDS 2021).  We build the standard VGG-16
+configuration-D architecture for ImageNet (224x224, 4096-wide classifier) and
+the common CIFAR-10 adaptation (32x32, 512-wide classifier), grouped into six
+distillation blocks: the five convolutional stages plus the classifier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.models import layers as L
+from repro.models.blocks import BlockSpec
+from repro.models.network import NetworkSpec
+
+#: VGG-16 configuration D: output channels per conv layer, grouped by stage.
+VGG16_STAGES: Tuple[Tuple[int, ...], ...] = (
+    (64, 64),
+    (128, 128),
+    (256, 256, 256),
+    (512, 512, 512),
+    (512, 512, 512),
+)
+
+
+def _dataset_config(dataset: str) -> Tuple[Tuple[int, int, int], int, Tuple[int, ...]]:
+    """Return (input_shape, num_classes, classifier_widths)."""
+    dataset = dataset.lower()
+    if dataset == "cifar10":
+        return (3, 32, 32), 10, (512,)
+    if dataset == "imagenet":
+        return (3, 224, 224), 1000, (4096, 4096)
+    raise ConfigurationError(f"unknown dataset {dataset!r}; expected 'cifar10' or 'imagenet'")
+
+
+def _conv_stage(
+    name: str,
+    in_shape: Tuple[int, int, int],
+    channels: Tuple[int, ...],
+    conv_builder,
+) -> List[L.LayerSpec]:
+    """One VGG stage: a run of 3x3 convs followed by a 2x2 max pool."""
+    stage_layers: List[L.LayerSpec] = []
+    shape = in_shape
+    for conv_index, out_channels in enumerate(channels):
+        conv_layers = conv_builder(f"{name}.conv{conv_index}", shape, out_channels)
+        stage_layers.extend(conv_layers)
+        shape = conv_layers[-1].out_shape
+    pool = L.max_pool(f"{name}.pool", shape, kernel=2, stride=2)
+    stage_layers.append(pool)
+    return stage_layers
+
+
+def _standard_conv(name: str, in_shape, out_channels) -> List[L.LayerSpec]:
+    """A standard VGG conv unit: 3x3 conv + BN + ReLU."""
+    conv = L.conv2d(name, in_shape, out_channels, kernel=3, stride=1)
+    return [
+        conv,
+        L.batch_norm(f"{name}.bn", conv.out_shape),
+        L.relu(f"{name}.relu", conv.out_shape),
+    ]
+
+
+def _classifier_layers(
+    name_prefix: str,
+    in_shape: Tuple[int, int, int],
+    hidden_widths: Tuple[int, ...],
+    num_classes: int,
+) -> List[L.LayerSpec]:
+    """Flatten + fully-connected classifier head."""
+    flat = L.flatten(f"{name_prefix}.flatten", in_shape)
+    layer_list: List[L.LayerSpec] = [flat]
+    in_features = flat.out_shape[0]
+    for index, width in enumerate(hidden_widths):
+        fc = L.linear(f"{name_prefix}.fc{index}", in_features, width)
+        layer_list.append(fc)
+        layer_list.append(L.relu(f"{name_prefix}.fc{index}_relu", fc.out_shape))
+        in_features = width
+    layer_list.append(L.linear(f"{name_prefix}.logits", in_features, num_classes))
+    return layer_list
+
+
+def build_vgg16_with_conv(
+    dataset: str,
+    conv_builder,
+    name: str,
+    block_name_prefix: str,
+) -> NetworkSpec:
+    """Build a VGG-16-shaped network with a pluggable conv unit builder.
+
+    Shared by the teacher (:func:`build_vgg16`) and the depthwise-separable
+    student (:func:`repro.models.dsconv.build_dsconv_student`), which differ
+    only in the conv unit used inside each stage.
+    """
+    input_shape, num_classes, classifier_widths = _dataset_config(dataset)
+    blocks: List[BlockSpec] = []
+    shape = input_shape
+    for stage_index, channels in enumerate(VGG16_STAGES):
+        stage_layers = _conv_stage(
+            f"{block_name_prefix}.stage{stage_index}", shape, channels, conv_builder
+        )
+        blocks.append(
+            BlockSpec(
+                name=f"{block_name_prefix}.block{stage_index}",
+                index=stage_index,
+                layers=tuple(stage_layers),
+            )
+        )
+        shape = stage_layers[-1].out_shape
+    classifier = _classifier_layers(
+        f"{block_name_prefix}.classifier", shape, classifier_widths, num_classes
+    )
+    blocks.append(
+        BlockSpec(
+            name=f"{block_name_prefix}.block{len(VGG16_STAGES)}",
+            index=len(VGG16_STAGES),
+            layers=tuple(classifier),
+        )
+    )
+    return NetworkSpec(
+        name=f"{name}-{dataset.lower()}",
+        blocks=tuple(blocks),
+        input_shape=input_shape,
+        num_classes=num_classes,
+        metadata={"dataset": dataset.lower()},
+    )
+
+
+def build_vgg16(dataset: str = "cifar10") -> NetworkSpec:
+    """Build the VGG-16 teacher grouped into six distillation blocks."""
+    return build_vgg16_with_conv(
+        dataset, _standard_conv, name="VGG16", block_name_prefix="vgg"
+    )

@@ -1,0 +1,48 @@
+"""DP baseline: data-parallel blockwise distillation (paper §II-B, Fig. 3a).
+
+The state-of-the-art baseline (DNA's official implementation) trains student
+blocks one at a time: block ``i`` is trained for its full epoch budget with
+all devices in a data-parallel group, each device loading its own shard of
+the batch and running the teacher from block 0 up to block ``i`` to produce
+the distillation input.  Then training moves to block ``i+1``.
+
+This is the strategy whose three inefficiencies — redundant teacher
+execution, extra data loading, and small per-device batches — motivate
+Pipe-BD (§III).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.hardware.server import ServerSpec
+from repro.models.pairs import DistillationPair
+from repro.parallel.plan import SchedulePlan
+
+
+def build_dp_plan(
+    pair: DistillationPair,
+    server: ServerSpec,
+    batch_size: int,
+) -> SchedulePlan:
+    """Build the DP baseline plan.
+
+    There is nothing to search: every device participates in one
+    data-parallel group and the batch is split evenly.
+    """
+    if batch_size < server.num_devices:
+        raise ScheduleError(
+            f"batch size {batch_size} is smaller than the device count "
+            f"{server.num_devices}; the DP baseline cannot shard it"
+        )
+    return SchedulePlan(
+        kind="data_parallel",
+        strategy="DP",
+        batch_size=batch_size,
+        num_devices=server.num_devices,
+        num_blocks=pair.num_blocks,
+        decoupled_update=False,
+        metadata={
+            "per_device_batch": batch_size // server.num_devices,
+            "description": "sequential block-by-block training, data parallel across all devices",
+        },
+    )

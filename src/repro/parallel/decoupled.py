@@ -1,0 +1,64 @@
+"""Decoupled parameter update (paper §IV-B, Fig. 3c).
+
+With teacher relaying alone, every device waits at a step barrier until all
+devices have finished their backward pass before updating weights and
+starting the next step; the wait for the relayed activation at the start of
+each step therefore shows up as a bubble.  Decoupled parameter update removes
+the barrier: as soon as a device's backward pass finishes it updates its own
+student blocks and immediately begins the next step's teacher execution.
+
+This is safe because student blocks have no dependency on each other's weight
+parameters — a property specific to blockwise distillation that
+:mod:`repro.distill.trainer` verifies numerically.
+
+At the plan level DPU is simply the ``decoupled_update`` flag on a
+teacher-relaying plan; the executor turns the flag into the presence or
+absence of cross-device step-barrier dependencies.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import DatasetSpec
+from repro.hardware.server import ServerSpec
+from repro.models.pairs import DistillationPair
+from repro.parallel.plan import SchedulePlan
+from repro.parallel.profiler import ProfileTable
+from repro.parallel.teacher_relay import build_tr_plan
+
+
+def build_tr_dpu_plan(
+    pair: DistillationPair,
+    server: ServerSpec,
+    batch_size: int,
+    profile: ProfileTable,
+    dataset: DatasetSpec,
+) -> SchedulePlan:
+    """Teacher relaying with decoupled parameter updates (TR+DPU)."""
+    return build_tr_plan(
+        pair=pair,
+        server=server,
+        batch_size=batch_size,
+        profile=profile,
+        dataset=dataset,
+        decoupled_update=True,
+    )
+
+
+def with_decoupled_update(plan: SchedulePlan, decoupled: bool = True) -> SchedulePlan:
+    """Return a copy of a pipeline plan with the DPU flag set as requested."""
+    strategy = plan.strategy
+    if decoupled and not plan.decoupled_update and strategy == "TR":
+        strategy = "TR+DPU"
+    if not decoupled and plan.decoupled_update and strategy == "TR+DPU":
+        strategy = "TR"
+    return SchedulePlan(
+        kind=plan.kind,
+        strategy=strategy,
+        batch_size=plan.batch_size,
+        num_devices=plan.num_devices,
+        num_blocks=plan.num_blocks,
+        decoupled_update=decoupled,
+        stages=plan.stages,
+        device_blocks=plan.device_blocks,
+        metadata=dict(plan.metadata),
+    )

@@ -1,0 +1,49 @@
+"""Internal relaying (paper §VII-A, the TR+IR ablation point).
+
+With internal relaying every device trains *all* blocks every step: the batch
+is split across devices (data parallelism), each device runs the whole
+teacher once, keeps the intermediate activations in its own memory, and uses
+them as the inputs of all student blocks.  Gradient sharing is required for
+every student block.  This removes the teacher redundancy, the extra data
+loading and the load imbalance, but brings back the small per-device batch —
+the paper notes it is exactly the special case of TR+DPU+AHD where every
+block is split along the batch dimension only.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.hardware.server import ServerSpec
+from repro.models.pairs import DistillationPair
+from repro.parallel.plan import SchedulePlan, StageAssignment
+
+
+def build_ir_plan(
+    pair: DistillationPair,
+    server: ServerSpec,
+    batch_size: int,
+) -> SchedulePlan:
+    """Build the internal-relaying plan: one stage, all blocks, all devices."""
+    if batch_size < server.num_devices:
+        raise ScheduleError(
+            f"batch size {batch_size} is smaller than the device count "
+            f"{server.num_devices}; internal relaying cannot shard it"
+        )
+    stage = StageAssignment(
+        stage_id=0,
+        block_ids=tuple(range(pair.num_blocks)),
+        device_ids=tuple(range(server.num_devices)),
+    )
+    return SchedulePlan(
+        kind="pipeline",
+        strategy="TR+IR",
+        batch_size=batch_size,
+        num_devices=server.num_devices,
+        num_blocks=pair.num_blocks,
+        decoupled_update=True,
+        stages=(stage,),
+        metadata={
+            "per_device_batch": -(-batch_size // server.num_devices),
+            "description": "all blocks on every device, batch split, activations kept in memory",
+        },
+    )

@@ -1,0 +1,141 @@
+"""Simulated per-block profiling (paper §V-B).
+
+Before training, Pipe-BD "runs 100 steps of each block with feasible batch
+sizes to obtain execution times under the current environment" and makes its
+scheduling decision from those measurements.  Here the measurements come from
+the hardware cost model instead of real kernels, but the interface — a table
+of per-(block, batch) teacher and student times plus the one-off profiling
+cost — is the same, so the AHD search and its overhead analysis work exactly
+as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.server import ServerSpec
+from repro.models.pairs import DistillationPair
+
+#: Number of timed steps per (block, batch) point, as in the paper.
+DEFAULT_PROFILE_STEPS = 100
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """Measured times for one block at one per-device batch size."""
+
+    block_id: int
+    batch: int
+    teacher_forward: float
+    student_forward: float
+    student_backward: float
+    weight_update: float
+
+    @property
+    def student_training(self) -> float:
+        """One student round: forward + backward."""
+        return self.student_forward + self.student_backward
+
+
+@dataclass
+class ProfileTable:
+    """Lookup table of profiled execution times."""
+
+    pair: DistillationPair
+    entries: Dict[Tuple[int, int], ProfileEntry] = field(default_factory=dict)
+    profiling_cost_s: float = 0.0
+
+    def add(self, entry: ProfileEntry) -> None:
+        self.entries[(entry.block_id, entry.batch)] = entry
+
+    def lookup(self, block_id: int, batch: int) -> ProfileEntry:
+        key = (block_id, batch)
+        if key not in self.entries:
+            raise ConfigurationError(
+                f"no profile entry for block {block_id} at batch {batch}; "
+                f"profiled batches: {sorted({b for _, b in self.entries})}"
+            )
+        return self.entries[key]
+
+    def has(self, block_id: int, batch: int) -> bool:
+        return (block_id, batch) in self.entries
+
+    def batches(self) -> Tuple[int, ...]:
+        return tuple(sorted({batch for _, batch in self.entries}))
+
+    # ------------------------------------------------------------------ #
+    # Derived step-time helpers used by the planners
+    # ------------------------------------------------------------------ #
+    def teacher_time(self, block_id: int, batch: int) -> float:
+        return self.lookup(block_id, batch).teacher_forward
+
+    def student_step_time(self, block_id: int, batch: int) -> float:
+        """Student compute per training step, including NAS's two rounds."""
+        entry = self.lookup(block_id, batch)
+        rounds = self.pair.student_rounds_per_step
+        return rounds * entry.student_training + entry.weight_update
+
+    def block_step_time(self, block_id: int, batch: int) -> float:
+        """Teacher forward + student step for one block."""
+        return self.teacher_time(block_id, batch) + self.student_step_time(block_id, batch)
+
+
+class Profiler:
+    """Produces a :class:`ProfileTable` for a (pair, server) combination."""
+
+    def __init__(
+        self,
+        pair: DistillationPair,
+        server: ServerSpec,
+        profile_steps: int = DEFAULT_PROFILE_STEPS,
+    ) -> None:
+        if profile_steps <= 0:
+            raise ConfigurationError("profile_steps must be positive")
+        self.pair = pair
+        self.server = server
+        self.profile_steps = profile_steps
+        self._cost_model = server.cost_model()
+
+    # ------------------------------------------------------------------ #
+    def feasible_batches(self, global_batch: int) -> Tuple[int, ...]:
+        """Per-device batch sizes AHD may use: ``ceil(batch / k)`` for k=1..N."""
+        if global_batch <= 0:
+            raise ConfigurationError("global_batch must be positive")
+        batches = {
+            max(1, math.ceil(global_batch / replicas))
+            for replicas in range(1, self.server.num_devices + 1)
+        }
+        return tuple(sorted(batches))
+
+    def profile(self, global_batch: int, extra_batches: Tuple[int, ...] = ()) -> ProfileTable:
+        """Profile every block at every feasible per-device batch size.
+
+        The returned table also records the simulated wall-clock cost of the
+        profiling run itself (``profile_steps`` steps per point), which the
+        paper argues is amortised over training (§IV-C) — the ablation bench
+        checks that claim.
+        """
+        batches = tuple(sorted(set(self.feasible_batches(global_batch)) | set(extra_batches)))
+        table = ProfileTable(pair=self.pair)
+        total_cost = 0.0
+        for block_id in range(self.pair.num_blocks):
+            teacher_block = self.pair.teacher.block(block_id)
+            student_block = self.pair.student.block(block_id)
+            for batch in batches:
+                entry = ProfileEntry(
+                    block_id=block_id,
+                    batch=batch,
+                    teacher_forward=self._cost_model.block_forward_time(teacher_block, batch),
+                    student_forward=self._cost_model.block_forward_time(student_block, batch),
+                    student_backward=self._cost_model.block_backward_time(student_block, batch),
+                    weight_update=self._cost_model.weight_update_time(student_block),
+                )
+                table.add(entry)
+                total_cost += self.profile_steps * (
+                    entry.teacher_forward + entry.student_training + entry.weight_update
+                )
+        table.profiling_cost_s = total_cost
+        return table

@@ -1,0 +1,69 @@
+"""Teacher relaying (paper §IV-A, Fig. 3b).
+
+Teacher relaying distributes the teacher and student blocks exclusively over
+the devices in contiguous groups; each device executes its teacher blocks on
+the full batch and relays the boundary activation to the next device, which
+uses it as the input of both its teacher and student blocks.  This removes
+the redundant teacher prefix execution and the per-block data loading, and
+every device now works on the full batch (better utilization).
+
+Block-to-device assignment uses the "naive distribution" of §IV-C: the best
+*contiguous* split of blocks over devices (one device per stage), chosen
+exhaustively from the C(B-1, N-1) candidates using profiled block times.
+Without AHD there is no batch splitting, which is exactly why imbalanced
+workloads (ImageNet's heavy block 0) leave bubbles that DPU alone cannot
+remove.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import DatasetSpec
+from repro.errors import ScheduleError
+from repro.hardware.server import ServerSpec
+from repro.models.pairs import DistillationPair
+from repro.parallel.estimator import StageTimeEstimator, stage_assignments_from_partition
+from repro.parallel.partition import contiguous_partitions
+from repro.parallel.plan import SchedulePlan
+from repro.parallel.profiler import ProfileTable
+
+
+def build_tr_plan(
+    pair: DistillationPair,
+    server: ServerSpec,
+    batch_size: int,
+    profile: ProfileTable,
+    dataset: DatasetSpec,
+    decoupled_update: bool = False,
+) -> SchedulePlan:
+    """Build a teacher-relaying plan with the best contiguous block split."""
+    num_devices = server.num_devices
+    num_blocks = pair.num_blocks
+    num_stages = min(num_devices, num_blocks)
+    if num_stages < 1:
+        raise ScheduleError("need at least one device and one block")
+
+    estimator = StageTimeEstimator(pair=pair, server=server, dataset=dataset, profile=profile)
+
+    best_plan: SchedulePlan | None = None
+    best_time = float("inf")
+    for partition in contiguous_partitions(num_blocks, num_stages):
+        stages = stage_assignments_from_partition(partition, [1] * num_stages)
+        candidate = SchedulePlan(
+            kind="pipeline",
+            strategy="TR+DPU" if decoupled_update else "TR",
+            batch_size=batch_size,
+            num_devices=num_devices,
+            num_blocks=num_blocks,
+            decoupled_update=decoupled_update,
+            stages=stages,
+        )
+        step_time = estimator.plan_step_time(candidate)
+        if step_time < best_time:
+            best_time = step_time
+            best_plan = candidate
+    assert best_plan is not None
+    best_plan.metadata["estimated_step_time"] = best_time
+    best_plan.metadata["description"] = (
+        "contiguous block groups, one device per stage, activations relayed"
+    )
+    return best_plan

@@ -1,0 +1,33 @@
+"""Discrete-event simulation substrate.
+
+The executor lowers a schedule plan into a task graph; this subpackage runs
+that graph on a set of serial resources (one compute stream per GPU, one
+point-to-point channel per device pair, one shared host loader) and records
+an execution trace from which epoch times, breakdowns and utilization are
+derived.
+"""
+
+from repro.sim.events import TaskKind, SimTask
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import TaskRecord, Trace
+from repro.sim.resources import (
+    device_compute,
+    device_link,
+    host_loader,
+    parse_device,
+)
+from repro.sim.metrics import compute_breakdown, resource_utilization
+
+__all__ = [
+    "TaskKind",
+    "SimTask",
+    "SimulationEngine",
+    "TaskRecord",
+    "Trace",
+    "device_compute",
+    "device_link",
+    "host_loader",
+    "parse_device",
+    "compute_breakdown",
+    "resource_utilization",
+]

@@ -1,0 +1,157 @@
+"""A small deterministic discrete-event simulation engine.
+
+The engine executes a static task graph: each :class:`~repro.sim.events.SimTask`
+names a serial resource, a duration, and a set of dependencies.  A task may
+start once all its dependencies have finished *and* its resource is free;
+when several tasks compete for the same resource, the one added to the engine
+first wins (insertion order equals program order, which matches how a real
+framework would enqueue kernels on a CUDA stream).
+
+The result is a :class:`~repro.sim.trace.Trace` with the start and end time of
+every task.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import SimTask, TaskKind
+from repro.sim.trace import TaskRecord, Trace
+
+
+class SimulationEngine:
+    """Builds and runs a task graph on serial resources."""
+
+    def __init__(self) -> None:
+        self._tasks: List[SimTask] = []
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+    def add_task(
+        self,
+        name: str,
+        kind: TaskKind,
+        resource: str,
+        duration: float,
+        deps: Iterable[int] = (),
+        step: int = -1,
+        device: int = -1,
+        block: int = -1,
+        metadata: Optional[dict] = None,
+    ) -> int:
+        """Add a task and return its id (usable as a dependency handle)."""
+        task_id = len(self._tasks)
+        deps_tuple: Tuple[int, ...] = tuple(deps)
+        for dep in deps_tuple:
+            if dep < 0 or dep >= task_id:
+                raise SimulationError(
+                    f"task {name!r} depends on unknown task id {dep} "
+                    f"(only earlier tasks may be dependencies)"
+                )
+        task = SimTask(
+            task_id=task_id,
+            name=name,
+            kind=kind,
+            resource=resource,
+            duration=float(duration),
+            deps=deps_tuple,
+            step=step,
+            device=device,
+            block=block,
+            metadata=metadata or {},
+        )
+        self._tasks.append(task)
+        return task_id
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    def task(self, task_id: int) -> SimTask:
+        return self._tasks[task_id]
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> Trace:
+        """Execute the task graph and return the trace.
+
+        Because dependencies may only point to earlier tasks, the graph is
+        acyclic by construction; the engine is therefore a deterministic list
+        scheduler.
+        """
+        if not self._tasks:
+            return Trace(records=())
+
+        num_tasks = len(self._tasks)
+        remaining_deps = [len(task.deps) for task in self._tasks]
+        dependents: List[List[int]] = [[] for _ in range(num_tasks)]
+        for task in self._tasks:
+            for dep in task.deps:
+                dependents[dep].append(task.task_id)
+
+        # Earliest time a task's dependencies are satisfied.
+        ready_time = [0.0] * num_tasks
+        # Per-resource FIFO of ready tasks, ordered by insertion order.
+        resource_queues: Dict[str, List[Tuple[int, float]]] = {}
+        # Time each resource becomes free.
+        resource_free: Dict[str, float] = {}
+
+        finish_time: List[Optional[float]] = [None] * num_tasks
+        start_time: List[Optional[float]] = [None] * num_tasks
+
+        def enqueue(task_id: int, at_time: float) -> None:
+            task = self._tasks[task_id]
+            queue = resource_queues.setdefault(task.resource, [])
+            heapq.heappush(queue, (task_id, at_time))
+
+        for task in self._tasks:
+            if remaining_deps[task.task_id] == 0:
+                enqueue(task.task_id, 0.0)
+
+        completed = 0
+        # Event loop: repeatedly pick, among resources with pending work, the
+        # task that can start earliest (ties broken by insertion order so the
+        # schedule is deterministic).
+        while completed < num_tasks:
+            best: Optional[Tuple[float, int, str]] = None
+            for resource, queue in resource_queues.items():
+                if not queue:
+                    continue
+                task_id, ready_at = queue[0]
+                start_at = max(ready_at, resource_free.get(resource, 0.0))
+                candidate = (start_at, task_id, resource)
+                if best is None or candidate < best:
+                    best = candidate
+            if best is None:
+                pending = [
+                    self._tasks[index].name
+                    for index in range(num_tasks)
+                    if finish_time[index] is None
+                ]
+                raise SimulationError(
+                    f"simulation deadlocked with {len(pending)} unfinished tasks; "
+                    f"first few: {pending[:5]}"
+                )
+            start_at, task_id, resource = best
+            heapq.heappop(resource_queues[resource])
+            task = self._tasks[task_id]
+            end_at = start_at + task.duration
+            start_time[task_id] = start_at
+            finish_time[task_id] = end_at
+            resource_free[resource] = end_at
+            completed += 1
+            for dependent in dependents[task_id]:
+                remaining_deps[dependent] -= 1
+                ready_time[dependent] = max(ready_time[dependent], end_at)
+                if remaining_deps[dependent] == 0:
+                    enqueue(dependent, ready_time[dependent])
+
+        records = tuple(
+            TaskRecord(task=task, start=start_time[task.task_id], end=finish_time[task.task_id])
+            for task in self._tasks
+        )
+        return Trace(records=records)

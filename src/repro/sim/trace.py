@@ -1,0 +1,151 @@
+"""Execution traces produced by the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.events import SimTask, TaskKind
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """A completed task with its simulated start and end times."""
+
+    task: SimTask
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def resource(self) -> str:
+        return self.task.resource
+
+    @property
+    def kind(self) -> TaskKind:
+        return self.task.kind
+
+
+@dataclass(frozen=True)
+class Trace:
+    """The full record of one simulation run."""
+
+    records: Tuple[TaskRecord, ...]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float:
+        """Total simulated time from 0 to the last task completion."""
+        if not self.records:
+            return 0.0
+        return max(record.end for record in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------ #
+    # Filtering / grouping
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate: Callable[[TaskRecord], bool]) -> "Trace":
+        """A sub-trace containing only records matching ``predicate``."""
+        return Trace(records=tuple(record for record in self.records if predicate(record)))
+
+    def by_resource(self) -> Dict[str, List[TaskRecord]]:
+        """Records grouped by resource, in start-time order."""
+        grouped: Dict[str, List[TaskRecord]] = {}
+        for record in sorted(self.records, key=lambda r: (r.start, r.task.task_id)):
+            grouped.setdefault(record.resource, []).append(record)
+        return grouped
+
+    def by_kind(self) -> Dict[TaskKind, List[TaskRecord]]:
+        """Records grouped by task kind."""
+        grouped: Dict[TaskKind, List[TaskRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.kind, []).append(record)
+        return grouped
+
+    def for_step(self, step: int) -> "Trace":
+        """Records belonging to one training step."""
+        return self.filter(lambda record: record.task.step == step)
+
+    def steps(self) -> Tuple[int, ...]:
+        """Sorted step labels present in the trace (excluding unlabeled -1)."""
+        return tuple(sorted({r.task.step for r in self.records if r.task.step >= 0}))
+
+    # ------------------------------------------------------------------ #
+    # Time accounting
+    # ------------------------------------------------------------------ #
+    def resource_busy_time(self, resource: str, kinds: Optional[Iterable[TaskKind]] = None) -> float:
+        """Total busy time of one resource, optionally restricted to kinds."""
+        kind_set = set(kinds) if kinds is not None else None
+        total = 0.0
+        for record in self.records:
+            if record.resource != resource:
+                continue
+            if kind_set is not None and record.kind not in kind_set:
+                continue
+            total += record.duration
+        return total
+
+    def resource_span(self, resource: str) -> Tuple[float, float]:
+        """(first start, last end) of a resource, or (0, 0) if unused."""
+        times = [
+            (record.start, record.end)
+            for record in self.records
+            if record.resource == resource
+        ]
+        if not times:
+            return (0.0, 0.0)
+        return min(start for start, _ in times), max(end for _, end in times)
+
+    def window(self, start: float, end: float) -> "Trace":
+        """Records overlapping the time interval [start, end)."""
+        return self.filter(lambda record: record.end > start and record.start < end)
+
+    def kind_time_on_resource(self, resource: str) -> Dict[TaskKind, float]:
+        """Busy time per kind on one resource."""
+        totals: Dict[TaskKind, float] = {}
+        for record in self.records:
+            if record.resource != resource:
+                continue
+            totals[record.kind] = totals.get(record.kind, 0.0) + record.duration
+        return totals
+
+    def step_boundaries(self) -> Dict[int, Tuple[float, float]]:
+        """Per-step (earliest start, latest end) over labeled records."""
+        bounds: Dict[int, Tuple[float, float]] = {}
+        for record in self.records:
+            step = record.task.step
+            if step < 0:
+                continue
+            if step not in bounds:
+                bounds[step] = (record.start, record.end)
+            else:
+                start, end = bounds[step]
+                bounds[step] = (min(start, record.start), max(end, record.end))
+        return bounds
+
+    def steady_state_step_time(self, skip_first: int = 1) -> float:
+        """Average per-step time ignoring the first ``skip_first`` warm-up steps.
+
+        Measured from consecutive step completion times so pipelined overlap
+        between steps is accounted for.
+        """
+        bounds = self.step_boundaries()
+        steps = sorted(bounds)
+        if len(steps) <= skip_first + 1:
+            if not steps:
+                return 0.0
+            first, last = steps[0], steps[-1]
+            span = bounds[last][1] - bounds[first][0]
+            return span / len(steps)
+        ends = [bounds[step][1] for step in steps]
+        start_index = skip_first
+        span = ends[-1] - ends[start_index - 1]
+        return span / (len(steps) - start_index)

@@ -1,0 +1,76 @@
+"""Tests of dataset descriptors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.dataset import CIFAR10, IMAGENET, DatasetSpec, get_dataset
+from repro.errors import ConfigurationError
+
+
+class TestDescriptors:
+    def test_cifar_shape_and_counts(self):
+        assert CIFAR10.sample_shape == (3, 32, 32)
+        assert CIFAR10.num_train == 50_000
+        assert CIFAR10.num_classes == 10
+
+    def test_imagenet_shape_and_counts(self):
+        assert IMAGENET.sample_shape == (3, 224, 224)
+        assert IMAGENET.num_classes == 1000
+
+    def test_decoded_bytes(self):
+        assert CIFAR10.decoded_bytes_per_sample == 3 * 32 * 32 * 4
+        assert IMAGENET.decoded_bytes_per_sample == 3 * 224 * 224 * 4
+
+    def test_lookup(self):
+        assert get_dataset("cifar10") is CIFAR10
+        assert get_dataset("IMAGENET") is IMAGENET
+        with pytest.raises(ConfigurationError):
+            get_dataset("svhn")
+
+
+class TestStepsPerEpoch:
+    def test_known_value(self):
+        assert CIFAR10.steps_per_epoch(256) == 195
+        assert IMAGENET.steps_per_epoch(256) == 5004
+
+    @given(batch=st.integers(min_value=1, max_value=4096))
+    def test_steps_cover_dataset(self, batch):
+        steps = CIFAR10.steps_per_epoch(batch)
+        assert steps * batch <= CIFAR10.num_train
+        assert (steps + 1) * batch > CIFAR10.num_train
+
+    def test_invalid_batch(self):
+        with pytest.raises(ConfigurationError):
+            CIFAR10.steps_per_epoch(0)
+        with pytest.raises(ConfigurationError):
+            CIFAR10.steps_per_epoch(CIFAR10.num_train + 1)
+
+    def test_batch_decoded_bytes(self):
+        assert CIFAR10.batch_decoded_bytes(10) == 10 * CIFAR10.decoded_bytes_per_sample
+
+
+class TestValidation:
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatasetSpec(
+                name="bad",
+                num_train=0,
+                num_val=0,
+                sample_shape=(3, 8, 8),
+                num_classes=2,
+                disk_bytes_per_sample=10,
+            )
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatasetSpec(
+                name="bad",
+                num_train=10,
+                num_val=0,
+                sample_shape=(3, 8),
+                num_classes=2,
+                disk_bytes_per_sample=10,
+            )
+
+    def test_describe(self):
+        assert "cifar10" in CIFAR10.describe()

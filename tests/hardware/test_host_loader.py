@@ -1,0 +1,62 @@
+"""Tests of the host model and the shared data-loading cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.dataset import CIFAR10, IMAGENET
+from repro.data.loader import DataLoadModel
+from repro.errors import ConfigurationError
+from repro.hardware.host import EPYC_7302, HostSpec, XEON_4214_DUAL
+
+
+class TestHostSpec:
+    def test_presets(self):
+        assert EPYC_7302.num_cores == 16
+        assert XEON_4214_DUAL.num_cores == 24
+
+    def test_batch_load_time_scales_with_contention(self):
+        single = EPYC_7302.batch_load_time(1e8, concurrent_loaders=1)
+        contended = EPYC_7302.batch_load_time(1e8, concurrent_loaders=4)
+        assert contended > single
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            EPYC_7302.batch_load_time(-1)
+        with pytest.raises(ConfigurationError):
+            EPYC_7302.batch_load_time(1e6, concurrent_loaders=0)
+        with pytest.raises(ConfigurationError):
+            HostSpec(name="bad", num_cores=0, loader_throughput_gbs=1.0)
+
+    def test_describe(self):
+        assert "EPYC" in EPYC_7302.describe()
+
+
+class TestDataLoadModel:
+    def test_imagenet_batches_cost_more_than_cifar(self):
+        cifar = DataLoadModel(dataset=CIFAR10, host=EPYC_7302)
+        imagenet = DataLoadModel(dataset=IMAGENET, host=EPYC_7302)
+        assert imagenet.batch_load_time(256) > cifar.batch_load_time(256)
+
+    def test_concurrent_loaders_slow_each_load(self):
+        loader = DataLoadModel(dataset=IMAGENET, host=EPYC_7302)
+        assert loader.batch_load_time(256, concurrent_loaders=4) > loader.batch_load_time(256)
+
+    @given(batch=st.integers(min_value=1, max_value=1024))
+    def test_load_time_positive_and_monotone(self, batch):
+        loader = DataLoadModel(dataset=CIFAR10, host=EPYC_7302)
+        assert loader.batch_load_time(batch) > 0
+        assert loader.batch_load_time(batch + 64) >= loader.batch_load_time(batch)
+
+    def test_epoch_load_time_is_steps_times_batch_time(self):
+        loader = DataLoadModel(dataset=CIFAR10, host=EPYC_7302)
+        steps = CIFAR10.steps_per_epoch(256)
+        assert loader.epoch_load_time(256) == pytest.approx(
+            steps * loader.batch_load_time(256)
+        )
+
+    def test_invalid_batch_rejected(self):
+        loader = DataLoadModel(dataset=CIFAR10, host=EPYC_7302)
+        with pytest.raises(ConfigurationError):
+            loader.batch_load_time(0)
+        with pytest.raises(ConfigurationError):
+            loader.batch_load_time(16, concurrent_loaders=0)

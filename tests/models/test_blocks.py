@@ -1,0 +1,103 @@
+"""Unit tests for block specifications."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.models import layers as L
+from repro.models.blocks import BlockSpec, balanced_boundaries, group_layers_into_blocks
+
+
+def _simple_chain(channels=(3, 8, 16), spatial=16):
+    layer_list = []
+    shape = (channels[0], spatial, spatial)
+    for index, out_channels in enumerate(channels[1:]):
+        conv = L.conv2d(f"c{index}", shape, out_channels, kernel=3)
+        layer_list.append(conv)
+        layer_list.append(L.relu(f"r{index}", conv.out_shape))
+        shape = conv.out_shape
+    return tuple(layer_list)
+
+
+class TestBlockSpec:
+    def test_aggregates_match_layer_sums(self):
+        layer_chain = _simple_chain()
+        block = BlockSpec(name="b", index=0, layers=layer_chain)
+        assert block.macs == sum(layer.macs for layer in layer_chain)
+        assert block.params == sum(layer.params for layer in layer_chain)
+        assert block.flops == 2 * block.macs
+        assert block.num_layers == len(layer_chain)
+
+    def test_shapes(self):
+        block = BlockSpec(name="b", index=0, layers=_simple_chain())
+        assert block.in_shape == (3, 16, 16)
+        assert block.out_shape == (16, 16, 16)
+
+    def test_activation_bytes_include_input_and_all_outputs(self):
+        layer_chain = _simple_chain()
+        block = BlockSpec(name="b", index=0, layers=layer_chain)
+        expected = layer_chain[0].in_bytes + sum(layer.out_bytes for layer in layer_chain)
+        assert block.activation_bytes_per_sample == expected
+
+    def test_peak_activation_at_least_output(self):
+        block = BlockSpec(name="b", index=0, layers=_simple_chain())
+        assert block.peak_activation_bytes_per_sample >= block.output_bytes_per_sample
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ShapeError):
+            BlockSpec(name="b", index=0, layers=())
+
+    def test_mismatched_chain_rejected(self):
+        conv = L.conv2d("c", (3, 8, 8), 4, kernel=3)
+        bad = L.relu("r", (5, 8, 8))
+        with pytest.raises(ShapeError):
+            BlockSpec(name="b", index=0, layers=(conv, bad))
+
+    def test_with_index(self):
+        block = BlockSpec(name="b", index=0, layers=_simple_chain())
+        renumbered = block.with_index(3)
+        assert renumbered.index == 3
+        assert renumbered.layers == block.layers
+
+    def test_describe_mentions_name(self):
+        block = BlockSpec(name="stem", index=0, layers=_simple_chain())
+        assert "stem" in block.describe()
+
+
+class TestGrouping:
+    def test_group_layers_into_blocks_covers_all(self):
+        layer_chain = _simple_chain((3, 8, 16, 32, 32), spatial=8)
+        blocks = group_layers_into_blocks(layer_chain, (2, 4, len(layer_chain)))
+        assert len(blocks) == 3
+        assert sum(block.num_layers for block in blocks) == len(layer_chain)
+        assert blocks[0].out_shape == blocks[1].in_shape
+        assert blocks[1].out_shape == blocks[2].in_shape
+
+    def test_bad_boundaries_rejected(self):
+        layer_chain = _simple_chain()
+        with pytest.raises(ShapeError):
+            group_layers_into_blocks(layer_chain, (2,))
+        with pytest.raises(ShapeError):
+            group_layers_into_blocks(layer_chain, (3, 2, len(layer_chain)))
+        with pytest.raises(ShapeError):
+            group_layers_into_blocks(layer_chain, ())
+
+    def test_balanced_boundaries_properties(self):
+        layer_chain = _simple_chain((3, 8, 16, 32, 64, 64), spatial=8)
+        boundaries = balanced_boundaries(layer_chain, 3)
+        assert len(boundaries) == 3
+        assert boundaries[-1] == len(layer_chain)
+        assert list(boundaries) == sorted(boundaries)
+
+    @given(num_blocks=st.integers(min_value=1, max_value=4))
+    def test_balanced_boundaries_always_cover(self, num_blocks):
+        layer_chain = _simple_chain((3, 8, 8, 16, 16), spatial=8)
+        boundaries = balanced_boundaries(layer_chain, num_blocks)
+        blocks = group_layers_into_blocks(layer_chain, boundaries)
+        assert len(blocks) == num_blocks
+        assert sum(block.num_layers for block in blocks) == len(layer_chain)
+
+    def test_too_many_blocks_rejected(self):
+        layer_chain = _simple_chain()
+        with pytest.raises(ShapeError):
+            balanced_boundaries(layer_chain, len(layer_chain) + 1)

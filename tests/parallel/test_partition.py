@@ -1,0 +1,110 @@
+"""Tests of partition enumeration and bin packing."""
+
+from math import comb
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ScheduleError
+from repro.parallel.partition import (
+    compositions,
+    contiguous_partitions,
+    count_contiguous_partitions,
+    greedy_balanced_partition,
+    lpt_bin_packing,
+)
+
+
+class TestCompositions:
+    def test_known_case(self):
+        assert list(compositions(4, 2)) == [(1, 3), (2, 2), (3, 1)]
+
+    def test_single_part(self):
+        assert list(compositions(5, 1)) == [(5,)]
+
+    def test_infeasible_yields_nothing(self):
+        assert list(compositions(2, 3)) == []
+
+    @given(total=st.integers(min_value=1, max_value=10), parts=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_all_sum_to_total(self, total, parts):
+        for composition in compositions(total, parts):
+            assert sum(composition) == total
+            assert all(value >= 1 for value in composition)
+
+    @given(total=st.integers(min_value=1, max_value=12), parts=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_binomial(self, total, parts):
+        expected = comb(total - 1, parts - 1) if total >= parts else 0
+        assert len(list(compositions(total, parts))) == expected
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ScheduleError):
+            list(compositions(4, 0))
+
+
+class TestContiguousPartitions:
+    def test_paper_search_space_size(self):
+        # §IV-C: B-1 choose N-1 choices for B blocks and N devices.
+        assert count_contiguous_partitions(6, 4) == comb(5, 3)
+        assert len(list(contiguous_partitions(6, 4))) == comb(5, 3)
+
+    def test_partitions_cover_all_blocks_in_order(self):
+        for partition in contiguous_partitions(6, 3):
+            flattened = [block for group in partition for block in group]
+            assert flattened == list(range(6))
+
+    def test_too_many_groups_yields_nothing(self):
+        assert list(contiguous_partitions(3, 4)) == []
+        assert count_contiguous_partitions(3, 4) == 0
+
+
+class TestBalancedPartition:
+    def test_balanced_split_of_uniform_costs(self):
+        partition = greedy_balanced_partition((1.0,) * 6, 3)
+        assert [len(group) for group in partition] == [2, 2, 2]
+
+    def test_heavy_first_block_isolated(self):
+        partition = greedy_balanced_partition((10.0, 1.0, 1.0, 1.0), 2)
+        assert partition[0] == (0,)
+
+    def test_optimality_against_bruteforce(self):
+        costs = (5.0, 2.0, 7.0, 1.0, 3.0)
+        best = greedy_balanced_partition(costs, 3)
+        best_cost = max(sum(costs[b] for b in group) for group in best)
+        for partition in contiguous_partitions(len(costs), 3):
+            candidate = max(sum(costs[b] for b in group) for group in partition)
+            assert best_cost <= candidate + 1e-12
+
+    def test_too_many_groups_rejected(self):
+        with pytest.raises(ScheduleError):
+            greedy_balanced_partition((1.0, 2.0), 3)
+
+
+class TestLPTBinPacking:
+    def test_covers_all_items_once(self):
+        bins = lpt_bin_packing((3.0, 1.0, 4.0, 1.0, 5.0), 3)
+        items = sorted(item for bin_items in bins for item in bin_items)
+        assert items == [0, 1, 2, 3, 4]
+
+    def test_heaviest_items_spread(self):
+        bins = lpt_bin_packing((10.0, 9.0, 1.0, 1.0), 2)
+        loads = [sum((10.0, 9.0, 1.0, 1.0)[i] for i in bin_items) for bin_items in bins]
+        assert max(loads) <= 12.0
+
+    @given(
+        costs=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=10),
+        bins=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lpt_within_greedy_bound(self, costs, bins):
+        # Any greedy list scheduler (LPT included) has a makespan of at most
+        # total/m + (1 - 1/m) * max item.
+        packed = lpt_bin_packing(tuple(costs), bins)
+        loads = [sum(costs[i] for i in bin_items) for bin_items in packed]
+        bound = sum(costs) / bins + (1.0 - 1.0 / bins) * max(costs)
+        assert max(loads) <= bound + 1e-9
+
+    def test_invalid_bins(self):
+        with pytest.raises(ScheduleError):
+            lpt_bin_packing((1.0,), 0)

@@ -1,0 +1,142 @@
+"""Tests of the schedule plan representation."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.parallel.plan import SchedulePlan, StageAssignment
+
+
+def _pipeline_plan(decoupled=True):
+    stages = (
+        StageAssignment(stage_id=0, block_ids=(0, 1), device_ids=(0, 1)),
+        StageAssignment(stage_id=1, block_ids=(2, 3), device_ids=(2,)),
+        StageAssignment(stage_id=2, block_ids=(4, 5), device_ids=(3,)),
+    )
+    return SchedulePlan(
+        kind="pipeline",
+        strategy="TR+DPU+AHD",
+        batch_size=256,
+        num_devices=4,
+        num_blocks=6,
+        decoupled_update=decoupled,
+        stages=stages,
+    )
+
+
+class TestStageAssignment:
+    def test_valid_stage(self):
+        stage = StageAssignment(stage_id=0, block_ids=(0, 1, 2), device_ids=(0, 1))
+        assert stage.num_devices == 2
+        assert stage.first_block == 0
+        assert stage.last_block == 2
+
+    def test_per_device_batch_ceils(self):
+        stage = StageAssignment(stage_id=0, block_ids=(0,), device_ids=(0, 1, 2))
+        assert stage.per_device_batch(256) == 86
+
+    def test_non_contiguous_blocks_rejected(self):
+        with pytest.raises(ScheduleError):
+            StageAssignment(stage_id=0, block_ids=(0, 2), device_ids=(0,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ScheduleError):
+            StageAssignment(stage_id=0, block_ids=(), device_ids=(0,))
+        with pytest.raises(ScheduleError):
+            StageAssignment(stage_id=0, block_ids=(0,), device_ids=())
+
+    def test_duplicate_devices_rejected(self):
+        with pytest.raises(ScheduleError):
+            StageAssignment(stage_id=0, block_ids=(0,), device_ids=(0, 0))
+
+
+class TestPipelinePlans:
+    def test_valid_plan_queries(self):
+        plan = _pipeline_plan()
+        assert plan.num_stages == 3
+        assert plan.stage_of_block(3).stage_id == 1
+        assert plan.stage_of_device(3).stage_id == 2
+        assert plan.active_devices() == (0, 1, 2, 3)
+
+    def test_per_device_batch(self):
+        plan = _pipeline_plan()
+        batches = plan.per_device_batch()
+        assert batches[0] == 128 and batches[1] == 128
+        assert batches[2] == 256 and batches[3] == 256
+
+    def test_describe_lists_stages(self):
+        assert _pipeline_plan().describe().count("stage") >= 3
+
+    def test_incomplete_block_coverage_rejected(self):
+        stages = (StageAssignment(stage_id=0, block_ids=(0, 1), device_ids=(0,)),)
+        with pytest.raises(ScheduleError):
+            SchedulePlan(
+                kind="pipeline", strategy="TR", batch_size=256, num_devices=4,
+                num_blocks=6, stages=stages,
+            )
+
+    def test_device_reuse_rejected(self):
+        stages = (
+            StageAssignment(stage_id=0, block_ids=(0, 1, 2), device_ids=(0,)),
+            StageAssignment(stage_id=1, block_ids=(3, 4, 5), device_ids=(0,)),
+        )
+        with pytest.raises(ScheduleError):
+            SchedulePlan(
+                kind="pipeline", strategy="TR", batch_size=256, num_devices=4,
+                num_blocks=6, stages=stages,
+            )
+
+    def test_out_of_order_stages_rejected(self):
+        stages = (
+            StageAssignment(stage_id=0, block_ids=(3, 4, 5), device_ids=(0,)),
+            StageAssignment(stage_id=1, block_ids=(0, 1, 2), device_ids=(1,)),
+        )
+        with pytest.raises(ScheduleError):
+            SchedulePlan(
+                kind="pipeline", strategy="TR", batch_size=256, num_devices=4,
+                num_blocks=6, stages=stages,
+            )
+
+    def test_stage_query_on_wrong_kind(self):
+        plan = SchedulePlan(
+            kind="data_parallel", strategy="DP", batch_size=256, num_devices=4, num_blocks=6
+        )
+        with pytest.raises(ScheduleError):
+            plan.stage_of_block(0)
+
+
+class TestOtherKinds:
+    def test_layerwise_plan(self):
+        plan = SchedulePlan(
+            kind="layerwise",
+            strategy="LS",
+            batch_size=256,
+            num_devices=4,
+            num_blocks=6,
+            device_blocks={0: (0, 5), 1: (1,), 2: (2, 3), 3: (4,)},
+        )
+        assert plan.per_device_batch()[0] == 256
+        assert set(plan.active_devices()) == {0, 1, 2, 3}
+
+    def test_layerwise_missing_blocks_rejected(self):
+        with pytest.raises(ScheduleError):
+            SchedulePlan(
+                kind="layerwise", strategy="LS", batch_size=256, num_devices=4,
+                num_blocks=6, device_blocks={0: (0, 1)},
+            )
+
+    def test_data_parallel_plan(self):
+        plan = SchedulePlan(
+            kind="data_parallel", strategy="DP", batch_size=256, num_devices=4, num_blocks=6
+        )
+        assert plan.per_device_batch()[0] == 64
+        assert plan.active_devices() == (0, 1, 2, 3)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScheduleError):
+            SchedulePlan(kind="ring", strategy="X", batch_size=1, num_devices=1, num_blocks=1)
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ScheduleError):
+            SchedulePlan(
+                kind="data_parallel", strategy="DP", batch_size=0, num_devices=4, num_blocks=6
+            )

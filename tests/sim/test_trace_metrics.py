@@ -1,0 +1,133 @@
+"""Tests of traces, resource naming and breakdown metrics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import TaskKind
+from repro.sim.metrics import (
+    aggregate_breakdown,
+    compute_breakdown,
+    device_utilization,
+    resource_utilization,
+)
+from repro.sim.resources import (
+    device_compute,
+    device_link,
+    host_loader,
+    is_compute_resource,
+    parse_device,
+)
+
+
+def _two_device_trace():
+    """A small two-device, two-step schedule used by several tests."""
+    engine = SimulationEngine()
+    for step in range(2):
+        load = engine.add_task(
+            f"load{step}", TaskKind.DATA_LOAD, host_loader(), 0.5, step=step, device=0
+        )
+        teacher = engine.add_task(
+            f"T{step}", TaskKind.TEACHER_FORWARD, device_compute(0), 1.0, deps=(load,),
+            step=step, device=0,
+        )
+        recv = engine.add_task(
+            f"recv{step}", TaskKind.RECV, device_link(0, 1), 0.2, deps=(teacher,),
+            step=step, device=1,
+        )
+        engine.add_task(
+            f"S0-{step}", TaskKind.STUDENT_FORWARD, device_compute(0), 0.5, deps=(teacher,),
+            step=step, device=0,
+        )
+        engine.add_task(
+            f"S1-{step}", TaskKind.STUDENT_FORWARD, device_compute(1), 1.5, deps=(recv,),
+            step=step, device=1,
+        )
+    return engine.run()
+
+
+class TestResources:
+    def test_names_roundtrip(self):
+        assert parse_device(device_compute(3)) == 3
+        assert is_compute_resource(device_compute(0))
+        assert not is_compute_resource(host_loader())
+
+    def test_invalid_resources(self):
+        with pytest.raises(SimulationError):
+            device_compute(-1)
+        with pytest.raises(SimulationError):
+            device_link(1, 1)
+        with pytest.raises(SimulationError):
+            parse_device(host_loader())
+
+
+class TestTrace:
+    def test_grouping_and_filtering(self):
+        trace = _two_device_trace()
+        by_resource = trace.by_resource()
+        assert device_compute(0) in by_resource
+        assert len(trace.filter(lambda r: r.kind == TaskKind.DATA_LOAD)) == 2
+        assert trace.steps() == (0, 1)
+        assert len(trace.for_step(0)) == 5
+
+    def test_busy_time(self):
+        trace = _two_device_trace()
+        busy = trace.resource_busy_time(device_compute(0))
+        assert busy == pytest.approx(2 * (1.0 + 0.5))
+
+    def test_resource_span_and_window(self):
+        trace = _two_device_trace()
+        start, end = trace.resource_span(device_compute(1))
+        assert end > start >= 0
+        assert trace.resource_span("gpu9:compute") == (0.0, 0.0)
+        windowed = trace.window(0.0, 1.0)
+        assert len(windowed) >= 1
+
+    def test_kind_time_on_resource(self):
+        trace = _two_device_trace()
+        per_kind = trace.kind_time_on_resource(device_compute(0))
+        assert per_kind[TaskKind.TEACHER_FORWARD] == pytest.approx(2.0)
+
+    def test_steady_state_step_time_positive(self):
+        trace = _two_device_trace()
+        assert trace.steady_state_step_time(skip_first=1) > 0
+
+    def test_step_boundaries_ordered(self):
+        trace = _two_device_trace()
+        bounds = trace.step_boundaries()
+        assert bounds[0][1] <= bounds[1][1]
+
+
+class TestMetrics:
+    def test_breakdown_covers_horizon(self):
+        trace = _two_device_trace()
+        breakdown = compute_breakdown(trace, num_devices=2)
+        for device in (0, 1):
+            total = sum(breakdown[device].values())
+            assert total == pytest.approx(trace.makespan, rel=1e-6)
+
+    def test_teacher_time_attributed_to_device0(self):
+        trace = _two_device_trace()
+        breakdown = compute_breakdown(trace, num_devices=2)
+        assert breakdown[0]["teacher_exec"] == pytest.approx(2.0)
+        assert breakdown[1]["teacher_exec"] == 0.0
+
+    def test_aggregate_breakdown_sums(self):
+        trace = _two_device_trace()
+        breakdown = compute_breakdown(trace, num_devices=2)
+        totals = aggregate_breakdown(breakdown)
+        assert totals["teacher_exec"] == pytest.approx(2.0)
+
+    def test_utilization_bounded(self):
+        trace = _two_device_trace()
+        utilizations = resource_utilization(trace, [device_compute(0), device_compute(1)])
+        for value in utilizations.values():
+            assert 0.0 <= value <= 1.0
+        per_device = device_utilization(trace, 2)
+        assert set(per_device) == {0, 1}
+
+    def test_zero_horizon(self):
+        trace = _two_device_trace()
+        assert resource_utilization(trace, [device_compute(0)], horizon=0.0) == {
+            device_compute(0): 0.0
+        }
