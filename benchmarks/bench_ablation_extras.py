@@ -16,6 +16,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import emit
+from repro.analysis.sweep import gpu_sensitivity
 from repro.core.ablation import make_profile
 from repro.core.config import ExperimentConfig
 from repro.core.reporting import format_table
@@ -56,18 +57,15 @@ def test_ahd_search_cost(benchmark, fast_steps):
 
 
 @pytest.mark.benchmark(group="extras")
-def test_device_count_scaling(benchmark, fast_steps):
+def test_device_count_scaling(benchmark, session, fast_steps):
     """Pipe-BD speedup over DP as the single-node GPU count grows."""
 
     def sweep():
-        speedups = {}
-        for num_gpus in (2, 4, 6, 8):
-            config = ExperimentConfig(
-                task="nas", dataset="imagenet", num_gpus=num_gpus, simulated_steps=fast_steps
-            )
-            suite = run_ablation(config, strategies=("DP", "TR+DPU+AHD"))
-            speedups[num_gpus] = suite.pipe_bd_speedup()
-        return speedups
+        base = ExperimentConfig(task="nas", dataset="imagenet", simulated_steps=fast_steps)
+        grid = session.sweep(
+            base, num_gpus=(2, 4, 6, 8), strategies=("DP", "TR+DPU+AHD")
+        )
+        return gpu_sensitivity(grid, "TR+DPU+AHD")
 
     speedups = benchmark(sweep)
     rows = [[f"{n} GPUs", f"{speedups[n]:.2f}x"] for n in sorted(speedups)]

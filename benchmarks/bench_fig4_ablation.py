@@ -9,11 +9,10 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.core.ablation import ALL_STRATEGIES
 from repro.core.config import ExperimentConfig
 from repro.core.reporting import format_table
-from repro.core.runner import run_ablation
 
 CELLS = (
     ("nas", "cifar10"),
@@ -23,16 +22,16 @@ CELLS = (
 )
 
 
-def _measure_cell(task: str, dataset: str, fast_steps: int):
+def _measure_cell(session, task: str, dataset: str, fast_steps: int):
     config = ExperimentConfig(task=task, dataset=dataset, simulated_steps=fast_steps)
-    suite = run_ablation(config, strategies=ALL_STRATEGIES)
-    return suite.speedups("DP"), suite.epoch_times()
+    return session.ablation(config, strategies=tuple(ALL_STRATEGIES))
 
 
 @pytest.mark.benchmark(group="fig4")
 @pytest.mark.parametrize("task,dataset", CELLS, ids=[f"{t}-{d}" for t, d in CELLS])
-def test_fig4_speedup_ablation(benchmark, task, dataset, fast_steps):
-    speedups, epoch_times = benchmark(_measure_cell, task, dataset, fast_steps)
+def test_fig4_speedup_ablation(benchmark, session, task, dataset, fast_steps):
+    suite = benchmark(_measure_cell, session, task, dataset, fast_steps)
+    speedups, epoch_times = suite.speedups("DP"), suite.epoch_times()
 
     rows = [
         [strategy, f"{epoch_times[strategy]:.2f}s", f"{speedups[strategy]:.2f}x"]
@@ -42,6 +41,7 @@ def test_fig4_speedup_ablation(benchmark, task, dataset, fast_steps):
         f"Fig. 4 — speedup over DP ({task}, {dataset}, 4x A6000, batch 256)",
         format_table(["strategy", "epoch time", "speedup vs DP"], rows),
     )
+    emit_json(f"fig4_{task}_{dataset}", suite.to_dict())
 
     # Shape checks shared by every cell: Pipe-BD wins, each Pipe-BD technique
     # is at least as good as the previous one.

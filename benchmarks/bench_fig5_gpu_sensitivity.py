@@ -11,27 +11,27 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis.schedule_viz import schedule_summary
 from repro.core.config import ExperimentConfig
 from repro.core.reporting import format_table
-from repro.core.runner import run_ablation
 
 STRATEGIES = ("DP", "LS", "TR", "TR+DPU", "TR+DPU+AHD")
 
 
-def _measure(server: str, fast_steps: int):
+def _measure(session, server: str, fast_steps: int):
     config = ExperimentConfig(
         task="nas", dataset="imagenet", server=server, simulated_steps=fast_steps
     )
-    suite = run_ablation(config, strategies=STRATEGIES)
-    return suite.speedups("DP"), suite.results["TR+DPU+AHD"].plan
+    suite = session.ablation(config, strategies=STRATEGIES)
+    return suite, suite.results["TR+DPU+AHD"].plan
 
 
 @pytest.mark.benchmark(group="fig5")
 @pytest.mark.parametrize("server", ("2080ti", "a6000"))
-def test_fig5_gpu_sensitivity(benchmark, server, fast_steps):
-    speedups, plan = benchmark(_measure, server, fast_steps)
+def test_fig5_gpu_sensitivity(benchmark, session, server, fast_steps):
+    suite, plan = benchmark(_measure, session, server, fast_steps)
+    speedups = suite.speedups("DP")
 
     rows = [[strategy, f"{speedups[strategy]:.2f}x"] for strategy in STRATEGIES]
     emit(
@@ -39,16 +39,17 @@ def test_fig5_gpu_sensitivity(benchmark, server, fast_steps):
         format_table(["strategy", "speedup vs DP"], rows),
     )
     emit(f"Fig. 5b/c — AHD schedule on {server}", schedule_summary(plan))
+    emit_json(f"fig5_{server}", suite.to_dict())
 
     assert speedups["TR+DPU+AHD"] > 1.0
     # The heavy ImageNet block 0 is shared across devices on both machines.
     assert plan.stages[0].num_devices >= 2
 
 
-def test_fig5_schedules_differ_between_gpu_types(fast_steps):
+def test_fig5_schedules_differ_between_gpu_types(session, fast_steps):
     """The automatic scheduler reacts to the GPU type (Fig. 5b vs 5c)."""
-    _, plan_ti = _measure("2080ti", fast_steps)
-    _, plan_a6000 = _measure("a6000", fast_steps)
+    _, plan_ti = _measure(session, "2080ti", fast_steps)
+    _, plan_a6000 = _measure(session, "a6000", fast_steps)
     signature_ti = [(stage.block_ids, stage.device_ids) for stage in plan_ti.stages]
     signature_a6000 = [(stage.block_ids, stage.device_ids) for stage in plan_a6000.stages]
     emit(

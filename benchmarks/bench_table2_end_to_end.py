@@ -10,10 +10,9 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.core.config import ExperimentConfig
 from repro.core.reporting import TABLE2_HEADERS, format_table, table2_row
-from repro.core.runner import run_ablation
 
 CELLS = (
     ("nas", "cifar10"),
@@ -31,16 +30,18 @@ PAPER_EPOCH_SECONDS = {
 }
 
 
-def _measure_cell(task: str, dataset: str, fast_steps: int):
+def _measure_cell(session, task: str, dataset: str, fast_steps: int):
     config = ExperimentConfig(task=task, dataset=dataset, simulated_steps=fast_steps)
-    suite = run_ablation(config, strategies=("DP", "LS", "TR+DPU+AHD"))
-    return config.build_pair(), suite.epoch_times()
+    suite = session.ablation(config, strategies=("DP", "LS", "TR+DPU+AHD"))
+    return session.pair(config), suite
 
 
 @pytest.mark.benchmark(group="table2")
 @pytest.mark.parametrize("task,dataset", CELLS, ids=[f"{t}-{d}" for t, d in CELLS])
-def test_table2_end_to_end(benchmark, task, dataset, fast_steps):
-    pair, epoch_times = benchmark(_measure_cell, task, dataset, fast_steps)
+def test_table2_end_to_end(benchmark, session, task, dataset, fast_steps):
+    pair, suite = benchmark(_measure_cell, session, task, dataset, fast_steps)
+    epoch_times = suite.epoch_times()
+    emit_json(f"table2_{task}_{dataset}", suite.to_dict())
 
     row = table2_row(task, dataset, pair, epoch_times)
     paper = PAPER_EPOCH_SECONDS[(task, dataset)]

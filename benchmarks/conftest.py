@@ -1,15 +1,27 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark regenerates one table or figure of the paper and prints the
-corresponding rows/series (run with ``pytest benchmarks/ --benchmark-only -s``
-to see them).  Absolute numbers are simulated seconds, not the authors'
+corresponding rows/series.  The files are named ``bench_*.py`` so the default
+collection glob skips them; name them explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_*.py -q -s  Absolute numbers are simulated seconds, not the authors'
 wall-clock measurements; the shapes (who wins, by roughly what factor, where
 the crossovers fall) are the reproduction target.
+
+Set ``REPRO_BENCH_JSON_DIR=<dir>`` to additionally dump each benchmark's raw
+results (``ExecutionResult.to_dict()`` / ``SweepResult.to_dict()`` payloads)
+as JSON files for downstream tooling.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
+
+from repro.core.session import Session
 
 
 def emit(title: str, body: str) -> None:
@@ -18,7 +30,25 @@ def emit(title: str, body: str) -> None:
     print(f"\n{line}\n  {title}\n{line}\n{body}\n")
 
 
+def emit_json(name: str, payload: dict) -> None:
+    """Write a JSON artifact when REPRO_BENCH_JSON_DIR is set (no-op otherwise)."""
+    out_dir = os.environ.get("REPRO_BENCH_JSON_DIR")
+    if not out_dir:
+        return
+    path = Path(out_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / f"{name}.json"
+    target.write_text(json.dumps(payload, indent=2))
+    print(f"[json] wrote {target}")
+
+
 @pytest.fixture(scope="session")
 def fast_steps() -> int:
     """Simulated steps per measurement; small keeps benchmarks quick."""
     return 6
+
+
+@pytest.fixture(scope="session")
+def session() -> Session:
+    """One shared session so profiles/pairs are built once per cell."""
+    return Session()

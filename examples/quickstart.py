@@ -4,7 +4,8 @@
 Runs the full Pipe-BD pipeline — profile the blocks, search the automatic
 hybrid distribution, execute one epoch on the simulated 4x RTX A6000 server —
 for the NAS workload on CIFAR-10, and compares it against the data-parallel
-baseline.
+baseline through the :class:`~repro.core.session.Session` facade (which
+profiles the cell once and shares the table across strategies).
 
 Usage::
 
@@ -15,41 +16,37 @@ from __future__ import annotations
 
 from repro.analysis.schedule_viz import render_gantt, schedule_summary
 from repro.core.config import ExperimentConfig
-from repro.core.pipebd import PipeBD
-from repro.core.runner import run_experiment
+from repro.core.session import Session
 
 
 def main() -> None:
+    session = Session()
     config = ExperimentConfig(task="nas", dataset="cifar10", batch_size=256)
-    pair = config.build_pair()
-    server = config.build_server()
-    dataset = config.build_dataset()
 
-    print("Workload :", pair.describe())
-    print("Server   :", server.describe())
-    print("Dataset  :", dataset.describe())
+    print("Workload :", session.pair(config).describe())
+    print("Server   :", session.server(config).describe())
+    print("Dataset  :", session.dataset(config).describe())
     print()
 
-    # --- Pipe-BD: automatic scheduling (Algorithm 1) + simulated epoch --- #
-    framework = PipeBD(pair=pair, server=server, dataset=dataset, batch_size=config.batch_size)
-    framework.initialize()
+    # --- Pipe-BD (automatic scheduling, Algorithm 1) vs the DP baseline --- #
+    suite = session.ablation(config, strategies=("DP", "TR+DPU+AHD"))
+    pipe_bd_result = suite.results["TR+DPU+AHD"]
+    baseline_result = suite.results["DP"]
+
     print("Pipe-BD schedule decided by automatic hybrid distribution:")
-    print(schedule_summary(framework.plan))
+    print(schedule_summary(pipe_bd_result.plan))
     print()
-
-    pipe_bd_result = framework.simulate_epoch()
-    baseline_result = run_experiment(config.with_strategy("DP"))
 
     print(f"DP baseline epoch time : {baseline_result.epoch_time:8.2f} s (simulated)")
     print(f"Pipe-BD epoch time     : {pipe_bd_result.epoch_time:8.2f} s (simulated)")
-    print(f"Speedup                : {baseline_result.epoch_time / pipe_bd_result.epoch_time:8.2f} x")
+    print(f"Speedup                : {suite.speedups('DP')['TR+DPU+AHD']:8.2f} x")
     print()
 
     print("Steady-state schedule of the first few steps (one row per GPU):")
     trace = pipe_bd_result.trace
     window_start = trace.makespan * 0.3
     window_end = min(trace.makespan, window_start + 3 * pipe_bd_result.step_time)
-    print(render_gantt(trace, num_devices=server.num_devices, width=90,
+    print(render_gantt(trace, num_devices=session.server(config).num_devices, width=90,
                        start=window_start, end=window_end))
 
 

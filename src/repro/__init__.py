@@ -26,12 +26,19 @@ Blockwise Distillation" (DATE 2023).  It contains:
 from repro.version import __version__
 from repro.core.config import ExperimentConfig
 from repro.core.pipebd import PipeBD
+from repro.core.session import Session, SweepResult, get_default_session
 from repro.core.runner import run_experiment, run_ablation
+from repro.parallel.registry import REGISTRY, register_strategy
 
 __all__ = [
     "__version__",
     "ExperimentConfig",
     "PipeBD",
+    "Session",
+    "SweepResult",
+    "get_default_session",
     "run_experiment",
     "run_ablation",
+    "REGISTRY",
+    "register_strategy",
 ]

@@ -8,6 +8,14 @@ from repro.analysis.breakdown import (
 from repro.analysis.speedup import speedup_over, speedup_series, geometric_mean_speedup
 from repro.analysis.memory_report import per_rank_memory_gb, average_memory_overhead
 from repro.analysis.schedule_viz import render_gantt, schedule_summary
+from repro.analysis.sweep import (
+    sweep_speedups,
+    batch_sensitivity,
+    gpu_sensitivity,
+    sweep_crossover_batch,
+    format_sweep_table,
+    format_best_cells,
+)
 
 __all__ = [
     "epoch_breakdown",
@@ -20,4 +28,10 @@ __all__ = [
     "average_memory_overhead",
     "render_gantt",
     "schedule_summary",
+    "sweep_speedups",
+    "batch_sensitivity",
+    "gpu_sensitivity",
+    "sweep_crossover_batch",
+    "format_sweep_table",
+    "format_best_cells",
 ]

@@ -1,0 +1,73 @@
+"""Analysis helpers over :class:`~repro.core.session.SweepResult` grids.
+
+These consume the typed sweep results produced by ``Session.sweep`` and turn
+them into the series and tables the paper's sensitivity figures plot:
+batch-size sensitivity (Fig. 6), GPU-count scaling (the extras ablation) and
+per-cell speedup tables (Figs. 4/5a generalised to arbitrary grids).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.speedup import crossover_batch
+from repro.core.reporting import format_table
+from repro.core.session import SweepResult
+from repro.errors import ConfigurationError
+
+
+def sweep_speedups(sweep: SweepResult, baseline: str = "DP") -> Dict[str, Dict[str, float]]:
+    """Per-cell speedups over a baseline: ``{cell label: {strategy: x}}``."""
+    return sweep.speedup_table(baseline)
+
+
+def batch_sensitivity(
+    sweep: SweepResult, strategy: str, baseline: str = "DP"
+) -> Dict[int, float]:
+    """Speedup of one strategy vs batch size (Fig. 6's data series)."""
+    return sweep.series(strategy, axis="batch_size", baseline=baseline)
+
+
+def gpu_sensitivity(
+    sweep: SweepResult, strategy: str, baseline: str = "DP"
+) -> Dict[int, float]:
+    """Speedup of one strategy vs GPU count (device-scaling series)."""
+    return sweep.series(strategy, axis="num_gpus", baseline=baseline)
+
+
+def sweep_crossover_batch(
+    sweep: SweepResult, strategy_a: str, strategy_b: str, baseline: str = "DP"
+) -> int | None:
+    """Smallest swept batch size at which strategy B overtakes strategy A."""
+    return crossover_batch(
+        batch_sensitivity(sweep, strategy_a, baseline),
+        batch_sensitivity(sweep, strategy_b, baseline),
+    )
+
+
+def format_sweep_table(sweep: SweepResult, baseline: str = "DP") -> str:
+    """Fixed-width speedup table: one row per cell, one column per strategy."""
+    if not sweep.cells:
+        raise ConfigurationError("sweep produced no cells")
+    strategies = list(sweep.strategies)
+    headers = ["cell"] + strategies
+    rows = []
+    for cell in sweep.cells:
+        speedups = cell.speedups(baseline)
+        rows.append(
+            [cell.config.cell_label()]
+            + [f"{speedups[strategy]:.2f}x" for strategy in strategies]
+        )
+    title = f"Speedup over {baseline} across {len(sweep.cells)} cells"
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def format_best_cells(sweep: SweepResult) -> str:
+    """Table of the fastest strategy (and its epoch time) in every cell."""
+    rows = []
+    for cell in sweep.cells:
+        strategy = min(cell.results, key=lambda name: cell.results[name].epoch_time)
+        rows.append(
+            [cell.config.cell_label(), strategy, f"{cell.results[strategy].epoch_time:.2f}s"]
+        )
+    return format_table(["cell", "fastest strategy", "epoch time"], rows)

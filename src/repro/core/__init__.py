@@ -3,7 +3,14 @@
 from repro.core.config import ExperimentConfig
 from repro.core.ablation import ALL_STRATEGIES, PIPE_BD_STRATEGY, build_plan
 from repro.core.pipebd import PipeBD
-from repro.core.runner import run_experiment, run_ablation, ExperimentSuiteResult
+from repro.core.session import (
+    Session,
+    SweepResult,
+    ExperimentSuiteResult,
+    get_default_session,
+    reset_default_session,
+)
+from repro.core.runner import run_experiment, run_ablation
 
 __all__ = [
     "ExperimentConfig",
@@ -11,7 +18,11 @@ __all__ = [
     "PIPE_BD_STRATEGY",
     "build_plan",
     "PipeBD",
+    "Session",
+    "SweepResult",
+    "ExperimentSuiteResult",
+    "get_default_session",
+    "reset_default_session",
     "run_experiment",
     "run_ablation",
-    "ExperimentSuiteResult",
 ]

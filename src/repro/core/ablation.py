@@ -1,30 +1,69 @@
-"""Strategy registry and ablation helpers (paper Fig. 4).
+"""Strategy views and ablation helpers (paper Fig. 4).
 
 The paper's ablation compares six points: the DP and LS baselines, TR alone,
-TR+DPU, the TR+IR alternative, and the full Pipe-BD (TR+DPU+AHD).  This
-module maps strategy names to their planners so the runner and benchmarks can
-iterate over them uniformly.
+TR+DPU, the TR+IR alternative, and the full Pipe-BD (TR+DPU+AHD).  Since the
+strategy-registry redesign the planners live behind
+:data:`repro.parallel.registry.REGISTRY`; this module keeps the historical
+names (``ALL_STRATEGIES``, ``build_plan``, ``needs_profile``) as thin views
+over the registry so user-registered strategies show up everywhere the
+built-ins do.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.data.dataset import DatasetSpec
-from repro.errors import ConfigurationError
 from repro.hardware.server import ServerSpec
 from repro.models.pairs import DistillationPair
-from repro.parallel.baseline_dp import build_dp_plan
-from repro.parallel.baseline_ls import build_ls_plan
-from repro.parallel.decoupled import build_tr_dpu_plan
-from repro.parallel.hybrid import build_ahd_plan
-from repro.parallel.internal_relay import build_ir_plan
 from repro.parallel.plan import SchedulePlan
 from repro.parallel.profiler import Profiler, ProfileTable
-from repro.parallel.teacher_relay import build_tr_plan
+from repro.parallel.registry import REGISTRY, StrategyRegistry
 
-#: All strategies, in the order the paper plots them.
-ALL_STRATEGIES: Tuple[str, ...] = ("DP", "LS", "TR", "TR+DPU", "TR+IR", "TR+DPU+AHD")
+
+class StrategyNamesView(Sequence):
+    """Live, tuple-like view of the registry's strategy names.
+
+    Iteration order is registration order (the paper's plot order for the
+    built-ins, then user strategies in the order they were registered).  The
+    view compares equal to any sequence with the same names, so existing
+    code and tests that treat ``ALL_STRATEGIES`` as a tuple keep working.
+    """
+
+    def __init__(self, registry: StrategyRegistry) -> None:
+        self._registry = registry
+
+    def _names(self) -> Tuple[str, ...]:
+        return self._registry.names()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __getitem__(self, index):
+        return self._names()[index]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._registry
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, StrategyNamesView):
+            return self._names() == other._names()
+        if isinstance(other, (tuple, list)):
+            return self._names() == tuple(other)
+        return NotImplemented
+
+    # The view mutates as strategies register, so it is unhashable (like list).
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"StrategyNamesView{self._names()!r}"
+
+
+#: All registered strategies, in registration (= paper plot) order.
+ALL_STRATEGIES: Sequence[str] = StrategyNamesView(REGISTRY)
 
 #: The ablation points shown in Fig. 4 / Fig. 5 / Fig. 6 (the paper sometimes
 #: omits TR+IR, which it discusses only for the A6000 NAS ablation).
@@ -39,7 +78,7 @@ BASELINE_STRATEGIES: Tuple[str, ...] = ("DP", "LS")
 
 def needs_profile(strategy: str) -> bool:
     """True if the strategy's planner consumes profiled block times."""
-    return strategy in ("LS", "TR", "TR+DPU", "TR+DPU+AHD")
+    return REGISTRY.requires_profile(strategy)
 
 
 def make_profile(
@@ -65,31 +104,12 @@ def build_plan(
     dataset: DatasetSpec,
     profile: Optional[ProfileTable] = None,
 ) -> SchedulePlan:
-    """Build the plan for a named strategy.
+    """Build the plan for a named (registered) strategy.
 
     A profile table is created on demand when the strategy needs one and the
     caller did not supply it.
     """
-    if strategy not in ALL_STRATEGIES:
-        raise ConfigurationError(
-            f"unknown strategy {strategy!r}; known strategies: {ALL_STRATEGIES}"
-        )
-    if needs_profile(strategy) and profile is None:
+    planner = REGISTRY.get(strategy)
+    if planner.requires_profile and profile is None:
         profile = make_profile(pair, server, batch_size)
-
-    if strategy == "DP":
-        return build_dp_plan(pair, server, batch_size)
-    if strategy == "LS":
-        assert profile is not None
-        return build_ls_plan(pair, server, batch_size, profile)
-    if strategy == "TR":
-        assert profile is not None
-        return build_tr_plan(pair, server, batch_size, profile, dataset, decoupled_update=False)
-    if strategy == "TR+DPU":
-        assert profile is not None
-        return build_tr_dpu_plan(pair, server, batch_size, profile, dataset)
-    if strategy == "TR+IR":
-        return build_ir_plan(pair, server, batch_size)
-    assert strategy == "TR+DPU+AHD"
-    assert profile is not None
-    return build_ahd_plan(pair, server, batch_size, profile, dataset)
+    return planner.build(pair, server, batch_size, dataset, profile=profile)

@@ -16,6 +16,7 @@ from repro.data.dataset import DatasetSpec, get_dataset
 from repro.errors import ConfigurationError
 from repro.hardware.server import ServerSpec, get_server
 from repro.models.pairs import DistillationPair, build_pair
+from repro.parallel.registry import REGISTRY
 
 #: Tasks the paper evaluates (§VI-A).
 VALID_TASKS: Tuple[str, ...] = ("nas", "compression")
@@ -58,6 +59,12 @@ class ExperimentConfig:
             )
         if self.simulated_steps < 4:
             raise ConfigurationError("simulated_steps must be >= 4")
+        if self.strategy not in REGISTRY:
+            raise ConfigurationError(
+                f"unknown strategy {self.strategy!r}; registered strategies: "
+                f"{REGISTRY.names()} (register custom strategies with "
+                "repro.parallel.registry.register_strategy before building configs)"
+            )
 
     # ------------------------------------------------------------------ #
     # Materialisation
@@ -84,9 +91,42 @@ class ExperimentConfig:
         return replace(self, batch_size=batch_size)
 
     def with_server(self, server: str, num_gpus: int | None = None) -> "ExperimentConfig":
-        """A copy of this config targeting a different server preset."""
-        return replace(self, server=server, num_gpus=num_gpus or self.num_gpus)
+        """A copy of this config targeting a different server preset.
+
+        ``num_gpus=None`` keeps the current GPU count; any explicit value —
+        including an invalid one such as ``0`` — is passed through to
+        validation rather than silently ignored.
+        """
+        if num_gpus is None:
+            num_gpus = self.num_gpus
+        elif num_gpus < 1:
+            raise ConfigurationError(
+                f"num_gpus must be >= 1, got {num_gpus}; pass num_gpus=None to "
+                "keep the current count"
+            )
+        return replace(self, server=server, num_gpus=num_gpus)
 
     def label(self) -> str:
         """Short label used in reports, e.g. ``"nas/cifar10/a6000/b256"``."""
         return f"{self.task}/{self.dataset}/{self.server}/b{self.batch_size}"
+
+    def cell_label(self) -> str:
+        """Unambiguous cell label including the GPU count (sweep reports)."""
+        return f"{self.task}/{self.dataset}/{self.server}x{self.num_gpus}/b{self.batch_size}"
+
+    def cell_key(self) -> Tuple[str, str, str, int, int]:
+        """Hashable identity of the cell (ignores strategy and step count)."""
+        return (self.task, self.dataset, self.server, self.num_gpus, self.batch_size)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view of the config."""
+        return {
+            "task": self.task,
+            "dataset": self.dataset,
+            "server": self.server,
+            "num_gpus": self.num_gpus,
+            "batch_size": self.batch_size,
+            "strategy": self.strategy,
+            "simulated_steps": self.simulated_steps,
+            "seed": self.seed,
+        }

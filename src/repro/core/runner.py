@@ -1,65 +1,37 @@
-"""Experiment runners: execute one strategy or a whole ablation sweep."""
+"""Stateless runner shims over the default :class:`~repro.core.session.Session`.
+
+``run_experiment`` and ``run_ablation`` predate the session facade; they are
+kept as thin wrappers so existing benchmarks, examples and downstream code
+keep working while gaining the default session's caching for free.  New code
+should construct a :class:`~repro.core.session.Session` directly (see the
+README quickstart).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.core.ablation import (
-    ABLATION_STRATEGIES,
-    ALL_STRATEGIES,
-    build_plan,
-    make_profile,
-    needs_profile,
-)
+from repro.core.ablation import ABLATION_STRATEGIES
 from repro.core.config import ExperimentConfig
-from repro.errors import ConfigurationError
-from repro.parallel.executor import ExecutionResult, ScheduleExecutor
+from repro.core.session import (
+    ExperimentSuiteResult,
+    Session,
+    SweepResult,
+    get_default_session,
+    reset_default_session,
+)
+from repro.parallel.executor import ExecutionResult
 from repro.parallel.profiler import ProfileTable
 
-
-@dataclass
-class ExperimentSuiteResult:
-    """Results of running several strategies on the same experiment cell."""
-
-    config: ExperimentConfig
-    results: Dict[str, ExecutionResult] = field(default_factory=dict)
-
-    def result(self, strategy: str) -> ExecutionResult:
-        if strategy not in self.results:
-            raise ConfigurationError(
-                f"strategy {strategy!r} was not run; available: {sorted(self.results)}"
-            )
-        return self.results[strategy]
-
-    def epoch_times(self) -> Dict[str, float]:
-        return {strategy: result.epoch_time for strategy, result in self.results.items()}
-
-    def speedups(self, baseline: str = "DP") -> Dict[str, float]:
-        """Speedup of every strategy over the chosen baseline."""
-        base = self.result(baseline).epoch_time
-        return {
-            strategy: base / result.epoch_time for strategy, result in self.results.items()
-        }
-
-    def pipe_bd_speedup(self, baseline: str = "DP") -> float:
-        """Speedup of the full Pipe-BD configuration over a baseline."""
-        from repro.core.ablation import PIPE_BD_STRATEGY
-
-        return self.speedups(baseline)[PIPE_BD_STRATEGY]
-
-
-def _make_context(config: ExperimentConfig):
-    pair = config.build_pair()
-    server = config.build_server()
-    dataset = config.build_dataset()
-    executor = ScheduleExecutor(
-        pair=pair,
-        server=server,
-        dataset=dataset,
-        simulated_steps=config.simulated_steps,
-    )
-    return pair, server, dataset, executor
+__all__ = [
+    "ExperimentSuiteResult",
+    "Session",
+    "SweepResult",
+    "get_default_session",
+    "reset_default_session",
+    "run_experiment",
+    "run_ablation",
+]
 
 
 def run_experiment(
@@ -67,13 +39,7 @@ def run_experiment(
     profile: Optional[ProfileTable] = None,
 ) -> ExecutionResult:
     """Run a single (config, strategy) cell and return its execution result."""
-    pair, server, dataset, executor = _make_context(config)
-    if needs_profile(config.strategy) and profile is None:
-        profile = make_profile(pair, server, config.batch_size)
-    plan = build_plan(
-        config.strategy, pair, server, config.batch_size, dataset, profile=profile
-    )
-    return executor.execute(plan)
+    return get_default_session().run(config, profile=profile)
 
 
 def run_ablation(
@@ -82,21 +48,8 @@ def run_ablation(
 ) -> ExperimentSuiteResult:
     """Run several strategies on the same experiment cell (paper Fig. 4).
 
-    The profile table is computed once and shared by every strategy, exactly
-    as Pipe-BD's one-off profiling pass is shared by its scheduling decisions.
+    The profile table is computed once per cell and shared by every strategy,
+    exactly as Pipe-BD's one-off profiling pass is shared by its scheduling
+    decisions.
     """
-    for strategy in strategies:
-        if strategy not in ALL_STRATEGIES:
-            raise ConfigurationError(f"unknown strategy {strategy!r}")
-    pair, server, dataset, executor = _make_context(config)
-    profile = None
-    if any(needs_profile(strategy) for strategy in strategies):
-        profile = make_profile(pair, server, config.batch_size)
-
-    suite = ExperimentSuiteResult(config=config)
-    for strategy in strategies:
-        plan = build_plan(
-            strategy, pair, server, config.batch_size, dataset, profile=profile
-        )
-        suite.results[strategy] = executor.execute(plan)
-    return suite
+    return get_default_session().ablation(config, strategies)

@@ -1,0 +1,449 @@
+"""The :class:`Session` facade: cached experiment execution and grid sweeps.
+
+The stateless runners re-materialise the model pair, the server spec and —
+far worse — the profile table on every call, which the thousand-cell sweeps
+behind Figs. 4–6 cannot afford.  A ``Session`` memoises every expensive
+artefact by the config cell that determines it:
+
+* pairs by ``(task, dataset)``,
+* server specs by ``(server, num_gpus)``,
+* dataset descriptors by ``dataset``,
+* executors by ``(pair, server, dataset, simulated_steps)``,
+* profile tables by ``(task, dataset, server, num_gpus, batch_size)`` —
+  built exactly once per cell, matching the paper's one-off profiling pass.
+
+On top of the caches it exposes the whole public workflow:
+
+* :meth:`Session.run` — one (config, strategy) cell,
+* :meth:`Session.ablation` — several strategies on one cell (Fig. 4),
+* :meth:`Session.sweep` — a full grid over batch sizes / GPU counts /
+  datasets / servers / tasks, returning a typed :class:`SweepResult` with
+  speedup tables, best-cell selection and JSON export.  Independent cells
+  can execute on a thread pool (``parallel=True``).
+
+``run_experiment`` / ``run_ablation`` in :mod:`repro.core.runner` remain as
+thin shims over a process-wide default session.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ablation import ABLATION_STRATEGIES, make_profile
+from repro.core.config import ExperimentConfig
+from repro.data.dataset import DatasetSpec
+from repro.errors import ConfigurationError
+from repro.hardware.server import ServerSpec
+from repro.models.pairs import DistillationPair
+from repro.parallel.executor import ExecutionResult, ScheduleExecutor
+from repro.parallel.profiler import ProfileTable
+from repro.parallel.registry import REGISTRY
+
+PairKey = Tuple[str, str]
+ServerKey = Tuple[str, int]
+ProfileKey = Tuple[str, str, str, int, int]
+ExecutorKey = Tuple[str, str, str, int, int]
+
+
+@dataclass
+class ExperimentSuiteResult:
+    """Results of running several strategies on the same experiment cell."""
+
+    config: ExperimentConfig
+    results: Dict[str, ExecutionResult] = field(default_factory=dict)
+
+    def result(self, strategy: str) -> ExecutionResult:
+        if strategy not in self.results:
+            raise ConfigurationError(
+                f"strategy {strategy!r} was not run; available: {sorted(self.results)}"
+            )
+        return self.results[strategy]
+
+    def epoch_times(self) -> Dict[str, float]:
+        return {strategy: result.epoch_time for strategy, result in self.results.items()}
+
+    def speedups(self, baseline: str = "DP") -> Dict[str, float]:
+        """Speedup of every strategy over the chosen baseline."""
+        base = self.result(baseline).epoch_time
+        return {
+            strategy: base / result.epoch_time for strategy, result in self.results.items()
+        }
+
+    def pipe_bd_speedup(self, baseline: str = "DP") -> float:
+        """Speedup of the full Pipe-BD configuration over a baseline."""
+        from repro.core.ablation import PIPE_BD_STRATEGY
+
+        return self.speedups(baseline)[PIPE_BD_STRATEGY]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary of this cell's results."""
+        config = self.config.to_dict()
+        # The strategies actually run are the result keys; the config's own
+        # strategy field never parameterised the suite and would contradict.
+        config.pop("strategy", None)
+        return {
+            "config": config,
+            "results": {
+                strategy: result.to_dict() for strategy, result in self.results.items()
+            },
+        }
+
+
+@dataclass
+class SessionStats:
+    """Cache-activity counters, primarily for tests and capacity planning."""
+
+    pair_builds: int = 0
+    server_builds: int = 0
+    dataset_builds: int = 0
+    executor_builds: int = 0
+    profile_builds: int = 0
+    profile_hits: int = 0
+    runs: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class SweepResult:
+    """Typed result of a :meth:`Session.sweep` grid.
+
+    ``cells`` holds one :class:`ExperimentSuiteResult` per grid point, in
+    grid-iteration order; ``strategies`` is the strategy set every cell ran.
+    """
+
+    base_config: ExperimentConfig
+    strategies: Tuple[str, ...]
+    cells: Tuple[ExperimentSuiteResult, ...]
+    axes: Dict[str, Tuple] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(cell.config.cell_label() for cell in self.cells)
+
+    def cell(self, **axis_values) -> ExperimentSuiteResult:
+        """The unique cell whose config matches every given axis value."""
+        matches = [
+            cell
+            for cell in self.cells
+            if all(getattr(cell.config, name) == value for name, value in axis_values.items())
+        ]
+        if not matches:
+            raise ConfigurationError(f"no sweep cell matches {axis_values!r}")
+        if len(matches) > 1:
+            raise ConfigurationError(
+                f"{len(matches)} sweep cells match {axis_values!r}; "
+                "constrain more axes (available: "
+                f"{sorted(self.axes)})"
+            )
+        return matches[0]
+
+    # ------------------------------------------------------------------ #
+    # Tables and selection
+    # ------------------------------------------------------------------ #
+    def epoch_times(self) -> Dict[str, Dict[str, float]]:
+        """Per-cell epoch times: ``{cell label: {strategy: seconds}}``."""
+        return {cell.config.cell_label(): cell.epoch_times() for cell in self.cells}
+
+    def speedup_table(self, baseline: str = "DP") -> Dict[str, Dict[str, float]]:
+        """Per-cell speedups over a baseline: ``{cell label: {strategy: x}}``."""
+        return {cell.config.cell_label(): cell.speedups(baseline) for cell in self.cells}
+
+    def series(self, strategy: str, axis: str, baseline: str = "DP") -> Dict:
+        """Speedup of one strategy along one axis (e.g. Fig. 6's batch axis).
+
+        Requires the axis value to identify each cell uniquely (i.e. every
+        other axis is fixed); raises otherwise.
+        """
+        out: Dict = {}
+        for cell in self.cells:
+            key = getattr(cell.config, axis)
+            if key in out:
+                raise ConfigurationError(
+                    f"axis {axis!r} does not uniquely identify sweep cells; "
+                    f"value {key!r} appears more than once"
+                )
+            out[key] = cell.speedups(baseline)[strategy]
+        return out
+
+    def best_cell(
+        self,
+        strategy: str,
+        key: Callable[[ExecutionResult], float] = lambda result: result.epoch_time,
+    ) -> ExperimentSuiteResult:
+        """The cell where ``strategy`` minimises ``key`` (default epoch time)."""
+        if not self.cells:
+            raise ConfigurationError("sweep produced no cells")
+        return min(self.cells, key=lambda cell: key(cell.result(strategy)))
+
+    def best_strategy_per_cell(self) -> Dict[str, str]:
+        """Fastest strategy in every cell: ``{cell label: strategy}``."""
+        return {
+            cell.config.cell_label(): min(
+                cell.results, key=lambda strategy: cell.results[strategy].epoch_time
+            )
+            for cell in self.cells
+        }
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "base_config": self.base_config.to_dict(),
+            "strategies": list(self.strategies),
+            "axes": {name: list(values) for name, values in self.axes.items()},
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class Session:
+    """Cached facade over configuration, planning and simulated execution.
+
+    A session is cheap to create and safe to keep for a whole process; its
+    caches only ever hold deterministic, immutable artefacts, so sharing one
+    session across sweeps (or threads, via ``sweep(parallel=True)``) returns
+    bit-identical results to the stateless runners.
+    """
+
+    def __init__(self) -> None:
+        self._pairs: Dict[PairKey, DistillationPair] = {}
+        self._servers: Dict[ServerKey, ServerSpec] = {}
+        self._datasets: Dict[str, DatasetSpec] = {}
+        self._executors: Dict[ExecutorKey, ScheduleExecutor] = {}
+        self._profiles: Dict[ProfileKey, ProfileTable] = {}
+        self._lock = threading.RLock()
+        self.stats = SessionStats()
+
+    # ------------------------------------------------------------------ #
+    # Cached materialisation
+    # ------------------------------------------------------------------ #
+    def pair(self, config: ExperimentConfig) -> DistillationPair:
+        key: PairKey = (config.task, config.dataset)
+        with self._lock:
+            if key not in self._pairs:
+                self._pairs[key] = config.build_pair()
+                self.stats.pair_builds += 1
+            return self._pairs[key]
+
+    def server(self, config: ExperimentConfig) -> ServerSpec:
+        key: ServerKey = (config.server, config.num_gpus)
+        with self._lock:
+            if key not in self._servers:
+                self._servers[key] = config.build_server()
+                self.stats.server_builds += 1
+            return self._servers[key]
+
+    def dataset(self, config: ExperimentConfig) -> DatasetSpec:
+        with self._lock:
+            if config.dataset not in self._datasets:
+                self._datasets[config.dataset] = config.build_dataset()
+                self.stats.dataset_builds += 1
+            return self._datasets[config.dataset]
+
+    def executor(self, config: ExperimentConfig) -> ScheduleExecutor:
+        key: ExecutorKey = (
+            config.task,
+            config.dataset,
+            config.server,
+            config.num_gpus,
+            config.simulated_steps,
+        )
+        with self._lock:
+            if key not in self._executors:
+                self._executors[key] = ScheduleExecutor(
+                    pair=self.pair(config),
+                    server=self.server(config),
+                    dataset=self.dataset(config),
+                    simulated_steps=config.simulated_steps,
+                )
+                self.stats.executor_builds += 1
+            return self._executors[key]
+
+    def profile(self, config: ExperimentConfig) -> ProfileTable:
+        """The profile table for this cell, built exactly once per cell."""
+        key: ProfileKey = config.cell_key()
+        with self._lock:
+            if key not in self._profiles:
+                self._profiles[key] = make_profile(
+                    self.pair(config), self.server(config), config.batch_size
+                )
+                self.stats.profile_builds += 1
+            else:
+                self.stats.profile_hits += 1
+            return self._profiles[key]
+
+    def clear(self) -> None:
+        """Drop every cached artefact (stats are kept)."""
+        with self._lock:
+            self._pairs.clear()
+            self._servers.clear()
+            self._datasets.clear()
+            self._executors.clear()
+            self._profiles.clear()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        config: ExperimentConfig,
+        strategy: Optional[str] = None,
+        profile: Optional[ProfileTable] = None,
+    ) -> ExecutionResult:
+        """Run one (config, strategy) cell and return its execution result.
+
+        ``strategy`` overrides ``config.strategy``; ``profile`` overrides the
+        session's cached profile table (it is not cached back).
+        """
+        name = strategy if strategy is not None else config.strategy
+        planner = REGISTRY.get(name)
+        if planner.requires_profile and profile is None:
+            profile = self.profile(config)
+        plan = planner.build(
+            self.pair(config),
+            self.server(config),
+            config.batch_size,
+            self.dataset(config),
+            profile=profile,
+        )
+        result = self.executor(config).execute(plan)
+        with self._lock:
+            self.stats.runs += 1
+        return result
+
+    def ablation(
+        self,
+        config: ExperimentConfig,
+        strategies: Sequence[str] = ABLATION_STRATEGIES,
+    ) -> ExperimentSuiteResult:
+        """Run several strategies on the same experiment cell (paper Fig. 4).
+
+        The profile table is computed once and shared by every strategy,
+        exactly as Pipe-BD's one-off profiling pass is shared by its
+        scheduling decisions.
+        """
+        strategies = tuple(strategies)
+        for strategy in strategies:
+            REGISTRY.get(strategy)  # fail fast with the known-strategy list
+        suite = ExperimentSuiteResult(config=config)
+        for strategy in strategies:
+            suite.results[strategy] = self.run(config, strategy=strategy)
+        return suite
+
+    # ------------------------------------------------------------------ #
+    # Grid sweeps
+    # ------------------------------------------------------------------ #
+    def sweep(
+        self,
+        base_config: ExperimentConfig,
+        *,
+        batch_sizes: Optional[Sequence[int]] = None,
+        num_gpus: Optional[Sequence[int]] = None,
+        datasets: Optional[Sequence[str]] = None,
+        servers: Optional[Sequence[str]] = None,
+        tasks: Optional[Sequence[str]] = None,
+        strategies: Optional[Sequence[str]] = None,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> SweepResult:
+        """Evaluate a strategy set over the grid of the given axes.
+
+        Every axis defaults to the single value in ``base_config``; the grid
+        is the cartesian product of the provided axes.  With
+        ``parallel=True`` independent cells execute on a thread pool; the
+        session caches stay consistent (and each profile table is still
+        built exactly once) because cache fills are serialised by prewarming
+        before the pool starts.
+        """
+        def axis(name: str, values: Optional[Sequence]) -> Tuple:
+            if values is None:
+                return (getattr(base_config, name),)
+            values = tuple(values)
+            if not values:
+                raise ConfigurationError(
+                    f"sweep axis {name!r} is empty; pass None to keep the base "
+                    "config's value"
+                )
+            return values
+
+        axes: Dict[str, Tuple] = {
+            "batch_size": axis("batch_size", batch_sizes),
+            "num_gpus": axis("num_gpus", num_gpus),
+            "dataset": axis("dataset", datasets),
+            "server": axis("server", servers),
+            "task": axis("task", tasks),
+        }
+        strategy_set = (
+            tuple(strategies) if strategies is not None else (base_config.strategy,)
+        )
+        if not strategy_set:
+            raise ConfigurationError("sweep needs at least one strategy")
+        for strategy in strategy_set:
+            REGISTRY.get(strategy)
+
+        names = tuple(axes)
+        configs: List[ExperimentConfig] = [
+            replace(base_config, **dict(zip(names, values)))
+            for values in itertools.product(*(axes[name] for name in names))
+        ]
+
+        if parallel:
+            # Serial prewarm keeps the exactly-once cache guarantee trivially
+            # true; the pool then only runs the (pure) simulations.
+            for config in configs:
+                self.executor(config)
+                if any(REGISTRY.requires_profile(s) for s in strategy_set):
+                    self.profile(config)
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                cells = tuple(
+                    pool.map(lambda config: self.ablation(config, strategy_set), configs)
+                )
+        else:
+            cells = tuple(self.ablation(config, strategy_set) for config in configs)
+
+        return SweepResult(
+            base_config=base_config,
+            strategies=strategy_set,
+            cells=cells,
+            axes={name: values for name, values in axes.items() if len(values) > 1},
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Default session (backing the run_experiment / run_ablation shims)
+# ---------------------------------------------------------------------- #
+_DEFAULT_SESSION: Optional[Session] = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
+
+
+def get_default_session() -> Session:
+    """The process-wide session used by the module-level runner shims."""
+    global _DEFAULT_SESSION
+    with _DEFAULT_SESSION_LOCK:
+        if _DEFAULT_SESSION is None:
+            _DEFAULT_SESSION = Session()
+        return _DEFAULT_SESSION
+
+
+def reset_default_session() -> Session:
+    """Replace the default session with a fresh one (tests, memory pressure)."""
+    global _DEFAULT_SESSION
+    with _DEFAULT_SESSION_LOCK:
+        _DEFAULT_SESSION = Session()
+        return _DEFAULT_SESSION

@@ -16,6 +16,12 @@ discrete-event simulator.
 """
 
 from repro.parallel.plan import SchedulePlan, StageAssignment
+from repro.parallel.registry import (
+    REGISTRY,
+    Strategy,
+    StrategyRegistry,
+    register_strategy,
+)
 from repro.parallel.profiler import Profiler, ProfileTable
 from repro.parallel.partition import contiguous_partitions, compositions
 from repro.parallel.estimator import StageTimeEstimator
@@ -30,6 +36,10 @@ from repro.parallel.executor import ScheduleExecutor, ExecutionResult
 __all__ = [
     "SchedulePlan",
     "StageAssignment",
+    "REGISTRY",
+    "Strategy",
+    "StrategyRegistry",
+    "register_strategy",
     "Profiler",
     "ProfileTable",
     "contiguous_partitions",

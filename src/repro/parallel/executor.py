@@ -80,6 +80,31 @@ class ExecutionResult:
             f"max_mem={self.max_memory_gb():.2f}GB"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (the trace is intentionally omitted)."""
+        return {
+            "strategy": self.strategy,
+            "plan_kind": self.plan.kind,
+            "batch_size": self.plan.batch_size,
+            "num_devices": self.plan.num_devices,
+            "epoch_time_s": self.epoch_time,
+            "step_time_s": self.step_time,
+            "steps_per_epoch": self.steps_per_epoch,
+            "breakdown_s": {
+                str(device): dict(categories)
+                for device, categories in sorted(self.breakdown.items())
+            },
+            "peak_memory_gb": {
+                str(device): bytes_ / 1e9
+                for device, bytes_ in sorted(self.peak_memory_bytes.items())
+            },
+            "max_memory_gb": self.max_memory_gb(),
+            "metadata": {
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in self.metadata.items()
+            },
+        }
+
 
 class ScheduleExecutor:
     """Executes schedule plans for one (pair, server, dataset) combination."""

@@ -1,0 +1,238 @@
+"""Strategy plugin registry.
+
+Every scheduling strategy — the six the paper evaluates and any user-defined
+one — is an object satisfying the :class:`Strategy` protocol, registered under
+a unique name.  The registry is the single source of truth consulted by
+:mod:`repro.core.ablation`, the :class:`~repro.core.session.Session` facade,
+config validation, benchmarks and analysis, so a new scheduler plugs in
+without editing core code:
+
+    from repro.parallel.registry import register_strategy
+
+    @register_strategy
+    class MyScheduler:
+        name = "MY-SCHED"
+        requires_profile = False
+
+        def build(self, pair, server, batch_size, dataset, profile=None):
+            ...return a SchedulePlan...
+
+    ExperimentConfig(strategy="MY-SCHED")   # now valid everywhere
+
+Registration order is preserved; the built-in strategies register below in
+the order the paper plots them, so ``registry.names()`` starts with
+``("DP", "LS", "TR", "TR+DPU", "TR+IR", "TR+DPU+AHD")``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Protocol, Tuple, Type, Union, runtime_checkable
+
+from repro.data.dataset import DatasetSpec
+from repro.errors import ConfigurationError, ScheduleError
+from repro.hardware.server import ServerSpec
+from repro.models.pairs import DistillationPair
+from repro.parallel.baseline_dp import build_dp_plan
+from repro.parallel.baseline_ls import build_ls_plan
+from repro.parallel.decoupled import build_tr_dpu_plan
+from repro.parallel.hybrid import build_ahd_plan
+from repro.parallel.internal_relay import build_ir_plan
+from repro.parallel.plan import SchedulePlan
+from repro.parallel.profiler import ProfileTable
+from repro.parallel.teacher_relay import build_tr_plan
+
+
+@runtime_checkable
+class Strategy(Protocol):
+    """A pluggable scheduling strategy.
+
+    ``name`` is the registry key (and the string used in configs, result
+    mappings and report tables); ``requires_profile`` tells callers whether
+    :meth:`build` needs a non-``None`` profile table.
+    """
+
+    name: str
+    requires_profile: bool
+
+    def build(
+        self,
+        pair: DistillationPair,
+        server: ServerSpec,
+        batch_size: int,
+        dataset: DatasetSpec,
+        profile: Optional[ProfileTable] = None,
+    ) -> SchedulePlan:
+        """Produce the schedule plan for one experiment cell."""
+        ...
+
+
+class StrategyRegistry:
+    """Ordered name -> :class:`Strategy` mapping with validated registration."""
+
+    def __init__(self) -> None:
+        self._strategies: Dict[str, Strategy] = {}
+
+    # ------------------------------------------------------------------ #
+    def register(self, strategy: Strategy, *, replace: bool = False) -> Strategy:
+        """Register a strategy instance under its ``name``."""
+        name = getattr(strategy, "name", None)
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(
+                f"strategy {strategy!r} must expose a non-empty string 'name'"
+            )
+        if not isinstance(getattr(strategy, "requires_profile", None), bool):
+            raise ConfigurationError(
+                f"strategy {name!r} must expose a boolean 'requires_profile'"
+            )
+        if not callable(getattr(strategy, "build", None)):
+            raise ConfigurationError(f"strategy {name!r} must expose a callable 'build'")
+        if name in self._strategies and not replace:
+            raise ConfigurationError(
+                f"strategy {name!r} is already registered; pass replace=True to override"
+            )
+        self._strategies[name] = strategy
+        return strategy
+
+    def unregister(self, name: str) -> None:
+        """Remove a strategy (used by tests and plugin teardown)."""
+        if name not in self._strategies:
+            raise ConfigurationError(f"strategy {name!r} is not registered")
+        del self._strategies[name]
+
+    def get(self, name: str) -> Strategy:
+        """Look up a strategy, with a helpful error naming the known set."""
+        try:
+            return self._strategies[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown strategy {name!r}; known strategies: {self.names()}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, in registration order."""
+        return tuple(self._strategies)
+
+    def requires_profile(self, name: str) -> bool:
+        return self.get(name).requires_profile
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: object) -> bool:
+        return name in self._strategies
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._strategies)
+
+    def __len__(self) -> int:
+        return len(self._strategies)
+
+
+#: The process-wide registry every subsystem consults.
+REGISTRY = StrategyRegistry()
+
+
+def register_strategy(
+    strategy: Union[Strategy, Type[Strategy], None] = None, *, replace: bool = False
+):
+    """Register a strategy class or instance (usable as a decorator).
+
+    Decorating a class instantiates it with no arguments and registers the
+    instance; the class itself is returned so it stays importable/testable.
+    """
+
+    def _register(obj):
+        instance = obj() if isinstance(obj, type) else obj
+        REGISTRY.register(instance, replace=replace)
+        return obj
+
+    if strategy is None:
+        return _register
+    return _register(strategy)
+
+
+def _require_profile(name: str, profile: Optional[ProfileTable]) -> ProfileTable:
+    if profile is None:
+        raise ScheduleError(
+            f"strategy {name!r} requires a profile table; profile the pair first "
+            "(see repro.core.ablation.make_profile) or go through build_plan/Session"
+        )
+    return profile
+
+
+# ---------------------------------------------------------------------- #
+# Built-in strategies, registered in the order the paper plots them.
+# ---------------------------------------------------------------------- #
+@register_strategy
+class DPStrategy:
+    """Data-parallel baseline (DNA; §II-B, Fig. 3a)."""
+
+    name = "DP"
+    requires_profile = False
+
+    def build(self, pair, server, batch_size, dataset, profile=None) -> SchedulePlan:
+        return build_dp_plan(pair, server, batch_size)
+
+
+@register_strategy
+class LSStrategy:
+    """Layerwise-scheduling baseline (Blakeney et al.; §II-B)."""
+
+    name = "LS"
+    requires_profile = True
+
+    def build(self, pair, server, batch_size, dataset, profile=None) -> SchedulePlan:
+        return build_ls_plan(pair, server, batch_size, _require_profile(self.name, profile))
+
+
+@register_strategy
+class TRStrategy:
+    """Teacher relaying (§IV-A, Fig. 3b)."""
+
+    name = "TR"
+    requires_profile = True
+
+    def build(self, pair, server, batch_size, dataset, profile=None) -> SchedulePlan:
+        return build_tr_plan(
+            pair,
+            server,
+            batch_size,
+            _require_profile(self.name, profile),
+            dataset,
+            decoupled_update=False,
+        )
+
+
+@register_strategy
+class TRDPUStrategy:
+    """Teacher relaying + decoupled parameter update (§IV-B, Fig. 3c)."""
+
+    name = "TR+DPU"
+    requires_profile = True
+
+    def build(self, pair, server, batch_size, dataset, profile=None) -> SchedulePlan:
+        return build_tr_dpu_plan(
+            pair, server, batch_size, _require_profile(self.name, profile), dataset
+        )
+
+
+@register_strategy
+class TRIRStrategy:
+    """Internal relaying (§VII-A)."""
+
+    name = "TR+IR"
+    requires_profile = False
+
+    def build(self, pair, server, batch_size, dataset, profile=None) -> SchedulePlan:
+        return build_ir_plan(pair, server, batch_size)
+
+
+@register_strategy
+class PipeBDStrategy:
+    """Full Pipe-BD: TR + DPU + automatic hybrid distribution (§IV-C, Fig. 3d)."""
+
+    name = "TR+DPU+AHD"
+    requires_profile = True
+
+    def build(self, pair, server, batch_size, dataset, profile=None) -> SchedulePlan:
+        return build_ahd_plan(
+            pair, server, batch_size, _require_profile(self.name, profile), dataset
+        )

@@ -36,6 +36,18 @@ class TestExperimentConfig:
         assert default_config.with_batch_size(128).batch_size == 128
         assert default_config.with_server("2080ti").server == "2080ti"
         assert default_config.label() == "nas/cifar10/a6000/b256"
+        assert default_config.cell_label() == "nas/cifar10/a6000x4/b256"
+        assert default_config.cell_key() == ("nas", "cifar10", "a6000", 4, 256)
+
+    def test_with_server_gpu_count_handling(self, default_config):
+        # None keeps the current count; an explicit count is applied.
+        assert default_config.with_server("2080ti").num_gpus == 4
+        assert default_config.with_server("2080ti", num_gpus=2).num_gpus == 2
+        # An explicit invalid count is rejected, not silently ignored.
+        with pytest.raises(ConfigurationError):
+            default_config.with_server("2080ti", num_gpus=0)
+        with pytest.raises(ConfigurationError):
+            default_config.with_server("2080ti", num_gpus=-1)
 
     def test_invalid_values_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -50,6 +62,17 @@ class TestExperimentConfig:
             ExperimentConfig(num_gpus=0)
         with pytest.raises(ConfigurationError):
             ExperimentConfig(simulated_steps=1)
+
+    def test_unknown_strategy_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown strategy"):
+            ExperimentConfig(strategy="ZeRO")
+
+    def test_to_dict_round_trips_through_json(self, default_config):
+        import json
+
+        payload = json.loads(json.dumps(default_config.to_dict()))
+        assert payload["strategy"] == "TR+DPU+AHD"
+        assert payload["batch_size"] == 256
 
 
 class TestStrategyRegistry:
