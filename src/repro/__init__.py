@@ -19,8 +19,11 @@ Blockwise Distillation" (DATE 2023).  It contains:
   not change the mathematical formulation.
 * ``repro.core`` — the Pipe-BD framework (Algorithm 1), experiment runner
   and report formatting.
-* ``repro.analysis`` — breakdowns, speedups, memory reports and schedule
-  visualisation.
+* ``repro.cluster`` — the fleet layer above single-server Pipe-BD:
+  multi-job workload generation, pluggable gang-scheduling policies and an
+  event-driven cluster simulator.
+* ``repro.analysis`` — breakdowns, speedups, memory reports, schedule
+  visualisation and fleet-level cluster reports.
 """
 
 from repro.version import __version__
@@ -29,6 +32,17 @@ from repro.core.pipebd import PipeBD
 from repro.core.session import Session, SweepResult, get_default_session
 from repro.core.runner import run_experiment, run_ablation
 from repro.parallel.registry import REGISTRY, register_strategy
+from repro.cluster import (
+    ClusterSimulator,
+    ClusterSpec,
+    NodeSpec,
+    POLICIES,
+    Workload,
+    default_cluster,
+    poisson_workload,
+    register_policy,
+    run_policy_comparison,
+)
 
 __all__ = [
     "__version__",
@@ -41,4 +55,13 @@ __all__ = [
     "run_ablation",
     "REGISTRY",
     "register_strategy",
+    "ClusterSimulator",
+    "ClusterSpec",
+    "NodeSpec",
+    "POLICIES",
+    "Workload",
+    "default_cluster",
+    "poisson_workload",
+    "register_policy",
+    "run_policy_comparison",
 ]

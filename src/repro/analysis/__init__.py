@@ -16,6 +16,13 @@ from repro.analysis.sweep import (
     format_sweep_table,
     format_best_cells,
 )
+from repro.analysis.cluster_report import (
+    ClusterReport,
+    JobRecord,
+    compare_policies,
+    format_cluster_report,
+    percentile,
+)
 
 __all__ = [
     "epoch_breakdown",
@@ -34,4 +41,9 @@ __all__ = [
     "sweep_crossover_batch",
     "format_sweep_table",
     "format_best_cells",
+    "ClusterReport",
+    "JobRecord",
+    "compare_policies",
+    "format_cluster_report",
+    "percentile",
 ]

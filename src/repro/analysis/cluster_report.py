@@ -1,0 +1,279 @@
+"""Fleet-level analytics over cluster simulation runs.
+
+The cluster simulator reduces a run to :class:`JobRecord` rows (one per
+completed job); everything here derives the queueing-level quantities a
+fleet operator reads — makespan, queue-wait distribution, GPU utilization,
+throughput — and formats per-policy comparison tables.  The module is pure
+data + arithmetic: it never imports the simulator, so reports parsed back
+from JSON are first-class citizens.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.reporting import format_seconds, format_table
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One completed job: where it ran and when."""
+
+    job_id: str
+    node: str
+    gpus: int
+    strategy: str
+    cell: str
+    arrival_time: float
+    start_time: float
+    finish_time: float
+
+    def __post_init__(self) -> None:
+        if self.start_time < self.arrival_time:
+            raise ConfigurationError(
+                f"job {self.job_id!r} started before it arrived"
+            )
+        if self.finish_time < self.start_time:
+            raise ConfigurationError(
+                f"job {self.job_id!r} finished before it started"
+            )
+
+    @property
+    def wait_time(self) -> float:
+        """Seconds spent queued before the gang was placed."""
+        return self.start_time - self.arrival_time
+
+    @property
+    def service_time(self) -> float:
+        """Seconds of execution once placed."""
+        return self.finish_time - self.start_time
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "node": self.node,
+            "gpus": self.gpus,
+            "strategy": self.strategy,
+            "cell": self.cell,
+            "arrival_time": self.arrival_time,
+            "start_time": self.start_time,
+            "finish_time": self.finish_time,
+            "wait_time": self.wait_time,
+            "service_time": self.service_time,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobRecord":
+        return cls(
+            job_id=payload["job_id"],
+            node=payload["node"],
+            gpus=int(payload["gpus"]),
+            strategy=payload["strategy"],
+            cell=payload.get("cell", ""),
+            arrival_time=float(payload["arrival_time"]),
+            start_time=float(payload["start_time"]),
+            finish_time=float(payload["finish_time"]),
+        )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sequence."""
+    if not values:
+        raise ConfigurationError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ConfigurationError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if q == 0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil(n * q / 100)
+    return ordered[int(rank) - 1]
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Aggregated outcome of serving one workload under one policy."""
+
+    policy: str
+    cluster_name: str
+    workload_name: str
+    node_gpus: Dict[str, int] = field(default_factory=dict)
+    records: Tuple[JobRecord, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Scalar metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def num_jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(self.node_gpus.values())
+
+    @property
+    def makespan(self) -> float:
+        """Seconds from t=0 until the last job finishes."""
+        return max((record.finish_time for record in self.records), default=0.0)
+
+    @property
+    def mean_wait(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(record.wait_time for record in self.records) / len(self.records)
+
+    @property
+    def p95_wait(self) -> float:
+        if not self.records:
+            return 0.0
+        return percentile([record.wait_time for record in self.records], 95)
+
+    @property
+    def max_wait(self) -> float:
+        return max((record.wait_time for record in self.records), default=0.0)
+
+    @property
+    def mean_service(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(record.service_time for record in self.records) / len(self.records)
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Busy GPU-seconds over fleet GPU-seconds across the makespan."""
+        makespan = self.makespan
+        if makespan <= 0 or self.total_gpus == 0:
+            return 0.0
+        busy = sum(record.gpus * record.service_time for record in self.records)
+        return busy / (self.total_gpus * makespan)
+
+    @property
+    def jobs_per_hour(self) -> float:
+        makespan = self.makespan
+        if makespan <= 0:
+            return 0.0
+        return self.num_jobs / makespan * 3600.0
+
+    # ------------------------------------------------------------------ #
+    # Per-dimension breakdowns
+    # ------------------------------------------------------------------ #
+    def per_node_utilization(self) -> Dict[str, float]:
+        """Busy fraction of every node's GPUs over the makespan."""
+        makespan = self.makespan
+        busy: Dict[str, float] = {node: 0.0 for node in self.node_gpus}
+        for record in self.records:
+            busy[record.node] = busy.get(record.node, 0.0) + record.gpus * record.service_time
+        return {
+            node: (busy.get(node, 0.0) / (gpus * makespan) if makespan > 0 else 0.0)
+            for node, gpus in self.node_gpus.items()
+        }
+
+    def per_node_jobs(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {node: 0 for node in self.node_gpus}
+        for record in self.records:
+            counts[record.node] = counts.get(record.node, 0) + 1
+        return counts
+
+    def waits_by_gang_size(self) -> Dict[int, float]:
+        """Mean queue wait per gang size (starvation shows up here)."""
+        sums: Dict[int, List[float]] = {}
+        for record in self.records:
+            sums.setdefault(record.gpus, []).append(record.wait_time)
+        return {
+            gpus: sum(waits) / len(waits) for gpus, waits in sorted(sums.items())
+        }
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict:
+        """Scalar metrics only (the row a comparison table shows)."""
+        return {
+            "policy": self.policy,
+            "cluster": self.cluster_name,
+            "workload": self.workload_name,
+            "num_jobs": self.num_jobs,
+            "total_gpus": self.total_gpus,
+            "makespan_s": self.makespan,
+            "mean_wait_s": self.mean_wait,
+            "p95_wait_s": self.p95_wait,
+            "max_wait_s": self.max_wait,
+            "mean_service_s": self.mean_service,
+            "gpu_utilization": self.gpu_utilization,
+            "jobs_per_hour": self.jobs_per_hour,
+        }
+
+    def to_dict(self) -> dict:
+        payload = self.summary()
+        payload["node_gpus"] = dict(self.node_gpus)
+        payload["per_node_utilization"] = self.per_node_utilization()
+        payload["records"] = [record.to_dict() for record in self.records]
+        return payload
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClusterReport":
+        return cls(
+            policy=payload["policy"],
+            cluster_name=payload.get("cluster", ""),
+            workload_name=payload.get("workload", ""),
+            node_gpus={node: int(g) for node, g in payload.get("node_gpus", {}).items()},
+            records=tuple(
+                JobRecord.from_dict(record) for record in payload.get("records", ())
+            ),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Formatting
+# ---------------------------------------------------------------------- #
+def format_cluster_report(report: ClusterReport) -> str:
+    """Multi-section text report for one policy run."""
+    lines = [
+        f"{report.policy} on {report.cluster_name} — {report.workload_name}",
+        f"  jobs          : {report.num_jobs}",
+        f"  makespan      : {format_seconds(report.makespan)}",
+        f"  mean wait     : {format_seconds(report.mean_wait)}",
+        f"  p95 wait      : {format_seconds(report.p95_wait)}",
+        f"  GPU util      : {report.gpu_utilization * 100:.1f}%",
+        f"  throughput    : {report.jobs_per_hour:.1f} jobs/hour",
+    ]
+    utilization = report.per_node_utilization()
+    jobs = report.per_node_jobs()
+    node_rows = [
+        [node, str(gpus), f"{utilization[node] * 100:.1f}%", str(jobs[node])]
+        for node, gpus in report.node_gpus.items()
+    ]
+    lines.append(format_table(["node", "gpus", "util", "jobs"], node_rows))
+    return "\n".join(lines)
+
+
+def compare_policies(reports: Mapping[str, ClusterReport] | Sequence[ClusterReport]) -> str:
+    """Side-by-side table of scalar metrics, one row per policy."""
+    if isinstance(reports, Mapping):
+        ordered = list(reports.values())
+    else:
+        ordered = list(reports)
+    if not ordered:
+        raise ConfigurationError("no reports to compare")
+    rows = [
+        [
+            report.policy,
+            format_seconds(report.makespan),
+            format_seconds(report.mean_wait),
+            format_seconds(report.p95_wait),
+            f"{report.gpu_utilization * 100:.1f}%",
+            f"{report.jobs_per_hour:.1f}",
+        ]
+        for report in ordered
+    ]
+    headers = ["policy", "makespan", "mean wait", "p95 wait", "gpu util", "jobs/h"]
+    title = (
+        f"{ordered[0].num_jobs} jobs on {ordered[0].cluster_name} "
+        f"({ordered[0].workload_name})"
+    )
+    return f"{title}\n{format_table(headers, rows)}"

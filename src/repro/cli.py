@@ -1,0 +1,230 @@
+"""``python -m repro`` — command-line front door over the Session/cluster APIs.
+
+Three subcommands mirror the three levels of the system:
+
+* ``run`` — one (config, strategy) cell on one simulated server,
+* ``sweep`` — a grid over batch sizes / GPU counts / datasets / servers /
+  tasks / strategies through :meth:`Session.sweep`,
+* ``cluster`` — a multi-job workload gang-scheduled onto a fleet under one
+  or all placement policies.
+
+Every subcommand prints a JSON document to stdout (or ``--out FILE``), so
+the CLI composes with ``jq``/notebooks the same way the benchmark JSON
+artifacts do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.cluster_report import compare_policies
+from repro.analysis.sweep import format_sweep_table
+from repro.cluster.scheduler import POLICIES
+from repro.cluster.spec import cluster_from_shorthand, default_cluster
+from repro.cluster.simulator import run_policy_comparison
+from repro.cluster.workload import DEFAULT_MIX, Workload, arrival_process
+from repro.core.config import (
+    ExperimentConfig,
+    VALID_DATASETS,
+    VALID_SERVERS,
+    VALID_TASKS,
+)
+from repro.core.session import Session
+from repro.errors import ReproError
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(item) for item in text.split(",") if item]
+
+
+def _str_list(text: str) -> List[str]:
+    return [item for item in text.split(",") if item]
+
+
+def _emit(payload: dict, out: Optional[str]) -> None:
+    text = json.dumps(payload, indent=2)
+    if out:
+        Path(out).write_text(text)
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+# ---------------------------------------------------------------------- #
+# Subcommands
+# ---------------------------------------------------------------------- #
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        task=args.task,
+        dataset=args.dataset,
+        server=args.server,
+        num_gpus=args.num_gpus,
+        batch_size=args.batch_size,
+        strategy=args.strategy,
+        simulated_steps=args.steps,
+    )
+    result = Session().run(config)
+    payload = {"config": config.to_dict(), "result": result.to_dict()}
+    _emit(payload, args.out)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    base = ExperimentConfig(
+        task=args.task,
+        dataset=args.dataset,
+        server=args.server,
+        num_gpus=args.num_gpus,
+        batch_size=args.batch_size,
+        simulated_steps=args.steps,
+    )
+    session = Session()
+    sweep = session.sweep(
+        base,
+        batch_sizes=_int_list(args.batch_sizes) if args.batch_sizes else None,
+        num_gpus=_int_list(args.gpu_counts) if args.gpu_counts else None,
+        datasets=_str_list(args.datasets) if args.datasets else None,
+        servers=_str_list(args.servers) if args.servers else None,
+        tasks=_str_list(args.tasks) if args.tasks else None,
+        strategies=_str_list(args.strategies) if args.strategies else None,
+        parallel=args.parallel,
+    )
+    if args.table:
+        # The default baseline (DP) may not be part of the swept strategy
+        # set; fall back to the first swept strategy rather than failing
+        # after the whole grid has been computed.
+        baseline = (
+            args.baseline if args.baseline in sweep.strategies else sweep.strategies[0]
+        )
+        print(format_sweep_table(sweep, baseline=baseline), file=sys.stderr)
+    _emit(sweep.to_dict(), args.out)
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    cluster = (
+        cluster_from_shorthand(args.nodes) if args.nodes else default_cluster()
+    )
+    if args.workload:
+        workload = Workload.load(args.workload)
+    else:
+        workload = arrival_process(
+            args.arrival,
+            args.num_jobs,
+            rate=args.rate,
+            burst_size=args.burst_size,
+            burst_gap=args.burst_gap,
+            seed=args.seed,
+            mix=DEFAULT_MIX,
+        )
+    if args.save_workload:
+        workload.save(args.save_workload)
+        print(f"wrote {args.save_workload}", file=sys.stderr)
+
+    policies = tuple(POLICIES.names()) if args.policy == "all" else (args.policy,)
+    session = Session()
+    reports = run_policy_comparison(cluster, workload, policies=policies, session=session)
+    if args.table:
+        print(compare_policies(reports), file=sys.stderr)
+    payload = {
+        "cluster": cluster.to_dict(),
+        "workload": workload.name,
+        "session_stats": session.stats.to_dict(),
+        "reports": {name: report.to_dict() for name, report in reports.items()},
+    }
+    _emit(payload, args.out)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Parser
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pipe-BD reproduction: run cells, sweep grids, simulate fleets.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_cell_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--task", default="nas", choices=VALID_TASKS)
+        sub.add_argument("--dataset", default="cifar10", choices=VALID_DATASETS)
+        sub.add_argument("--server", default="a6000", choices=VALID_SERVERS)
+        sub.add_argument("--num-gpus", type=int, default=4)
+        sub.add_argument("--batch-size", type=int, default=256)
+        sub.add_argument("--steps", type=int, default=10, help="simulated steps")
+        sub.add_argument("--out", help="write JSON to this file instead of stdout")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment cell")
+    add_cell_arguments(run_parser)
+    run_parser.add_argument("--strategy", default="TR+DPU+AHD")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = subparsers.add_parser("sweep", help="sweep a grid of cells")
+    add_cell_arguments(sweep_parser)
+    sweep_parser.add_argument("--batch-sizes", help="comma list, e.g. 128,256")
+    sweep_parser.add_argument("--gpu-counts", help="comma list, e.g. 2,4")
+    sweep_parser.add_argument("--datasets", help="comma list")
+    sweep_parser.add_argument("--servers", help="comma list")
+    sweep_parser.add_argument("--tasks", help="comma list")
+    sweep_parser.add_argument("--strategies", help="comma list, e.g. DP,TR+DPU+AHD")
+    sweep_parser.add_argument("--baseline", default="DP")
+    sweep_parser.add_argument("--parallel", action="store_true")
+    sweep_parser.add_argument(
+        "--table", action="store_true", help="also print a speedup table to stderr"
+    )
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    cluster_parser = subparsers.add_parser(
+        "cluster", help="gang-schedule a multi-job workload onto a fleet"
+    )
+    cluster_parser.add_argument(
+        "--nodes",
+        help="cluster shorthand, e.g. a6000:4,a6000:4,2080ti:4 (default: 4-node fleet)",
+    )
+    cluster_parser.add_argument(
+        "--policy",
+        default="all",
+        help=f"placement policy ({', '.join(POLICIES.names())}) or 'all'",
+    )
+    cluster_parser.add_argument("--num-jobs", type=int, default=200)
+    cluster_parser.add_argument("--arrival", default="poisson", choices=("poisson", "bursty"))
+    cluster_parser.add_argument("--rate", type=float, default=0.5, help="jobs/sec (poisson)")
+    cluster_parser.add_argument("--burst-size", type=int, default=8)
+    cluster_parser.add_argument("--burst-gap", type=float, default=120.0)
+    cluster_parser.add_argument("--seed", type=int, default=0)
+    cluster_parser.add_argument("--workload", help="replay a JSON workload trace")
+    cluster_parser.add_argument("--save-workload", help="save the generated workload")
+    cluster_parser.add_argument(
+        "--table", action="store_true", help="also print the comparison table to stderr"
+    )
+    cluster_parser.add_argument("--out", help="write JSON to this file instead of stdout")
+    cluster_parser.set_defaults(handler=_cmd_cluster)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (head, jq -e, ...) closed the pipe early; the
+        # run itself succeeded.  Detach stdout so the interpreter does not
+        # print a second BrokenPipeError while flushing at shutdown.
+        devnull = open(os.devnull, "w")
+        os.dup2(devnull.fileno(), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Cluster layer: multi-job workloads gang-scheduled onto a simulated fleet.
+
+Pipe-BD schedules blocks *within* one job on one server; this package adds
+the queueing layer above it — heterogeneous fleets (:mod:`~repro.cluster.spec`),
+deterministic multi-job workload generation and trace replay
+(:mod:`~repro.cluster.workload`), pluggable gang-placement policies
+(:mod:`~repro.cluster.scheduler`) and the event-driven fleet simulator
+(:mod:`~repro.cluster.simulator`).  Fleet-level analytics live in
+:mod:`repro.analysis.cluster_report`.
+"""
+
+from repro.cluster.spec import (
+    ClusterSpec,
+    NodeSpec,
+    cluster_from_shorthand,
+    default_cluster,
+)
+from repro.cluster.workload import (
+    DEFAULT_MIX,
+    JobMix,
+    JobSpec,
+    Workload,
+    arrival_process,
+    bursty_workload,
+    poisson_workload,
+    replay_workload,
+)
+from repro.cluster.scheduler import (
+    POLICIES,
+    Placement,
+    PlacementPolicy,
+    PolicyRegistry,
+    register_policy,
+)
+from repro.cluster.simulator import ClusterSimulator, run_policy_comparison
+
+__all__ = [
+    "ClusterSpec",
+    "NodeSpec",
+    "cluster_from_shorthand",
+    "default_cluster",
+    "DEFAULT_MIX",
+    "JobMix",
+    "JobSpec",
+    "Workload",
+    "arrival_process",
+    "bursty_workload",
+    "poisson_workload",
+    "replay_workload",
+    "POLICIES",
+    "Placement",
+    "PlacementPolicy",
+    "PolicyRegistry",
+    "register_policy",
+    "ClusterSimulator",
+    "run_policy_comparison",
+]

@@ -1,0 +1,162 @@
+"""Gang-scheduling placement policies and their registry.
+
+A placement policy answers one question, repeatedly: *given the queue and
+the free GPUs per node, which job starts next, and where?*  Jobs are gangs —
+all ``job.gpus`` GPUs must come from a single node (the strategies being
+scheduled are single-server pipelines), so a policy returns at most one
+``(job, node)`` pair per call and the simulator re-asks until the answer is
+``None``.
+
+Policies are pluggable through :data:`POLICIES`, a registry mirroring
+:data:`repro.parallel.registry.REGISTRY` — register a custom policy with
+:func:`register_policy` and every simulator, benchmark and CLI entry point
+can use it by name.  Three built-ins cover the classic trade-offs:
+
+* ``"fifo"`` — strict FIFO with first-fit placement; the head of the queue
+  blocks everything behind it (no backfill), the fairness baseline.
+* ``"best-fit"`` — earliest *placeable* job on the node that leaves the
+  fewest GPUs stranded; trades head-of-line fairness for packing.
+* ``"sjf"`` — shortest job first by profile-estimated service time, placed
+  first-fit; minimises mean wait at the cost of starving long jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.cluster.workload import JobSpec
+from repro.errors import ConfigurationError
+from repro.registry import NamedRegistry, make_register
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One placement decision: start ``job_id``'s gang on ``node`` now."""
+
+    job_id: str
+    node: str
+
+
+#: Estimator handed to policies: seconds of service time for a queued job.
+ServiceEstimator = Callable[[JobSpec], float]
+
+
+@runtime_checkable
+class PlacementPolicy(Protocol):
+    """A pluggable gang-placement policy.
+
+    ``place`` receives the pending queue in arrival order, the free GPU
+    count per node (in cluster order), and a service-time estimator; it
+    returns the next placement or ``None`` when nothing may start.
+    """
+
+    name: str
+
+    def place(
+        self,
+        pending: Sequence[JobSpec],
+        free_gpus: Mapping[str, int],
+        estimate: ServiceEstimator,
+    ) -> Optional[Placement]:
+        """Pick the next job to start, or ``None`` to wait for an event."""
+        ...
+
+
+class PolicyRegistry(NamedRegistry[PlacementPolicy]):
+    """Ordered name -> :class:`PlacementPolicy` mapping with validation."""
+
+    kind = "placement policy"
+    kind_plural = "policies"
+
+    def validate(self, name: str, policy: PlacementPolicy) -> None:
+        if not callable(getattr(policy, "place", None)):
+            raise ConfigurationError(f"policy {name!r} must expose a callable 'place'")
+
+
+#: The process-wide placement-policy registry.
+POLICIES = PolicyRegistry()
+
+
+#: Register a policy class or instance (usable as a decorator); see
+#: :func:`repro.registry.make_register`.
+register_policy = make_register(POLICIES)
+
+
+# ---------------------------------------------------------------------- #
+# Placement helpers
+# ---------------------------------------------------------------------- #
+def first_fit_node(job: JobSpec, free_gpus: Mapping[str, int]) -> Optional[str]:
+    """First node (cluster order) with enough free GPUs for the gang."""
+    for node, free in free_gpus.items():
+        if free >= job.gpus:
+            return node
+    return None
+
+
+def best_fit_node(job: JobSpec, free_gpus: Mapping[str, int]) -> Optional[str]:
+    """Fitting node leaving the fewest GPUs stranded (ties: cluster order)."""
+    best: Optional[str] = None
+    best_leftover: Optional[int] = None
+    for node, free in free_gpus.items():
+        if free < job.gpus:
+            continue
+        leftover = free - job.gpus
+        if best_leftover is None or leftover < best_leftover:
+            best, best_leftover = node, leftover
+    return best
+
+
+# ---------------------------------------------------------------------- #
+# Built-in policies
+# ---------------------------------------------------------------------- #
+@register_policy
+class FIFOFirstFit:
+    """Strict FIFO, first-fit placement, no backfill."""
+
+    name = "fifo"
+
+    def place(self, pending, free_gpus, estimate) -> Optional[Placement]:
+        if not pending:
+            return None
+        head = pending[0]
+        node = first_fit_node(head, free_gpus)
+        if node is None:
+            return None
+        return Placement(job_id=head.job_id, node=node)
+
+
+@register_policy
+class BestFitPacking:
+    """Earliest placeable job on the tightest-fitting node (skips blockers)."""
+
+    name = "best-fit"
+
+    def place(self, pending, free_gpus, estimate) -> Optional[Placement]:
+        for job in pending:
+            node = best_fit_node(job, free_gpus)
+            if node is not None:
+                return Placement(job_id=job.job_id, node=node)
+        return None
+
+
+@register_policy
+class ShortestJobFirst:
+    """Shortest estimated service time first, first-fit placement.
+
+    Estimates come from the simulator's profile-backed service-time model,
+    so the ordering reflects real (simulated) epoch times, not job metadata.
+    Ties break on arrival order, then job id, keeping runs deterministic.
+    """
+
+    name = "sjf"
+
+    def place(self, pending, free_gpus, estimate) -> Optional[Placement]:
+        ranked = sorted(
+            pending, key=lambda job: (estimate(job), job.arrival_time, job.job_id)
+        )
+        for job in ranked:
+            node = first_fit_node(job, free_gpus)
+            if node is not None:
+                return Placement(job_id=job.job_id, node=node)
+        return None

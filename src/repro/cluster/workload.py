@@ -1,0 +1,338 @@
+"""Multi-job workloads: job specs, seeded generators and JSON trace replay.
+
+A :class:`JobSpec` is one distillation job submitted to the fleet — an
+experiment cell (task, dataset, batch size, strategy) plus a GPU gang size,
+an arrival time and an epoch count.  The job deliberately does *not* fix a
+server preset: which hardware it runs on is the scheduler's decision, so the
+:class:`~repro.core.config.ExperimentConfig` is only materialised once a
+placement names a node.
+
+Workloads come from three sources, all deterministic:
+
+* :func:`poisson_workload` — memoryless arrivals at a given rate (the classic
+  open-loop traffic model),
+* :func:`bursty_workload` — synchronised bursts separated by lulls (the
+  hardest case for gang scheduling, since a burst's gangs contend at once),
+* :meth:`Workload.load` — JSON trace replay, so real or hand-crafted traces
+  run through the exact same simulator path as generated ones.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterator, Tuple
+
+from repro.core.config import ExperimentConfig, VALID_DATASETS, VALID_TASKS
+from repro.errors import ConfigurationError
+from repro.parallel.registry import REGISTRY
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One distillation job in a cluster workload."""
+
+    job_id: str
+    arrival_time: float
+    gpus: int
+    task: str = "nas"
+    dataset: str = "cifar10"
+    batch_size: int = 256
+    strategy: str = "TR+DPU+AHD"
+    epochs: int = 1
+    simulated_steps: int = 6
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ConfigurationError("job_id must be non-empty")
+        if self.arrival_time < 0:
+            raise ConfigurationError(f"job {self.job_id!r} arrival_time must be >= 0")
+        if self.gpus < 1:
+            raise ConfigurationError(f"job {self.job_id!r} must request >= 1 GPU")
+        if self.epochs < 1:
+            raise ConfigurationError(f"job {self.job_id!r} must train >= 1 epoch")
+        if self.task not in VALID_TASKS:
+            raise ConfigurationError(
+                f"job {self.job_id!r} task must be one of {VALID_TASKS}, got {self.task!r}"
+            )
+        if self.dataset not in VALID_DATASETS:
+            raise ConfigurationError(
+                f"job {self.job_id!r} dataset must be one of {VALID_DATASETS}, "
+                f"got {self.dataset!r}"
+            )
+        if self.batch_size < self.gpus:
+            raise ConfigurationError(
+                f"job {self.job_id!r} batch_size ({self.batch_size}) must be >= "
+                f"gpus ({self.gpus})"
+            )
+        if self.strategy not in REGISTRY:
+            raise ConfigurationError(
+                f"job {self.job_id!r} uses unknown strategy {self.strategy!r}; "
+                f"registered: {REGISTRY.names()}"
+            )
+        if self.simulated_steps < 4:
+            raise ConfigurationError(
+                f"job {self.job_id!r} simulated_steps must be >= 4, "
+                f"got {self.simulated_steps}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def experiment_config(self, server: str) -> ExperimentConfig:
+        """The single-server experiment cell this job runs once placed."""
+        return ExperimentConfig(
+            task=self.task,
+            dataset=self.dataset,
+            server=server,
+            num_gpus=self.gpus,
+            batch_size=self.batch_size,
+            strategy=self.strategy,
+            simulated_steps=self.simulated_steps,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.job_id}: {self.task}/{self.dataset} b{self.batch_size} "
+            f"{self.strategy} x{self.gpus}gpu, {self.epochs} epoch(s), "
+            f"t={self.arrival_time:.1f}s"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "arrival_time": self.arrival_time,
+            "gpus": self.gpus,
+            "task": self.task,
+            "dataset": self.dataset,
+            "batch_size": self.batch_size,
+            "strategy": self.strategy,
+            "epochs": self.epochs,
+            "simulated_steps": self.simulated_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        return cls(
+            job_id=payload["job_id"],
+            arrival_time=float(payload["arrival_time"]),
+            gpus=int(payload["gpus"]),
+            task=payload.get("task", "nas"),
+            dataset=payload.get("dataset", "cifar10"),
+            batch_size=int(payload.get("batch_size", 256)),
+            strategy=payload.get("strategy", "TR+DPU+AHD"),
+            epochs=int(payload.get("epochs", 1)),
+            simulated_steps=int(payload.get("simulated_steps", 6)),
+        )
+
+
+@dataclass(frozen=True)
+class JobMix:
+    """The categorical mix a workload generator samples jobs from."""
+
+    tasks: Tuple[str, ...] = ("nas", "compression")
+    datasets: Tuple[str, ...] = ("cifar10",)
+    batch_sizes: Tuple[int, ...] = (128, 256)
+    gpu_demands: Tuple[int, ...] = (1, 2, 4)
+    strategies: Tuple[str, ...] = ("TR+DPU+AHD", "TR")
+    epochs: Tuple[int, ...] = (1, 2, 3)
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "tasks",
+            "datasets",
+            "batch_sizes",
+            "gpu_demands",
+            "strategies",
+            "epochs",
+        ):
+            if not getattr(self, field_name):
+                raise ConfigurationError(f"job mix {field_name} must be non-empty")
+
+    def sample(self, rng: random.Random, job_id: str, arrival_time: float) -> JobSpec:
+        """Draw one job; every categorical axis is sampled independently."""
+        return JobSpec(
+            job_id=job_id,
+            arrival_time=arrival_time,
+            gpus=rng.choice(self.gpu_demands),
+            task=rng.choice(self.tasks),
+            dataset=rng.choice(self.datasets),
+            batch_size=rng.choice(self.batch_sizes),
+            strategy=rng.choice(self.strategies),
+            epochs=rng.choice(self.epochs),
+        )
+
+
+#: Default mix: both paper tasks, CIFAR-scale data, mixed gangs and strategies.
+DEFAULT_MIX = JobMix()
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An arrival-ordered stream of jobs submitted to the cluster."""
+
+    name: str
+    jobs: Tuple[JobSpec, ...]
+
+    def __post_init__(self) -> None:
+        ids = [job.job_id for job in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"workload {self.name!r} has duplicate job ids")
+        arrivals = [job.arrival_time for job in self.jobs]
+        if arrivals != sorted(arrivals):
+            raise ConfigurationError(
+                f"workload {self.name!r} jobs must be sorted by arrival time"
+            )
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self.jobs)
+
+    @property
+    def max_gpu_demand(self) -> int:
+        return max((job.gpus for job in self.jobs), default=0)
+
+    @property
+    def duration(self) -> float:
+        """Span of the arrival process (last arrival time)."""
+        return self.jobs[-1].arrival_time if self.jobs else 0.0
+
+    def scaled_arrivals(self, factor: float) -> "Workload":
+        """The same jobs with arrival times compressed/stretched by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError("arrival scale factor must be > 0")
+        return Workload(
+            name=f"{self.name} (x{factor:g} arrivals)",
+            jobs=tuple(
+                replace(job, arrival_time=job.arrival_time * factor) for job in self.jobs
+            ),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {len(self.jobs)} jobs over {self.duration:.1f}s, "
+            f"max gang {self.max_gpu_demand} GPUs"
+        )
+
+    # ------------------------------------------------------------------ #
+    # JSON trace replay
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {"name": self.name, "jobs": [job.to_dict() for job in self.jobs]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Workload":
+        jobs = sorted(
+            (JobSpec.from_dict(job) for job in payload["jobs"]),
+            key=lambda job: job.arrival_time,
+        )
+        return cls(name=payload.get("name", "trace"), jobs=tuple(jobs))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Workload":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.write_text(self.to_json())
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Workload":
+        return cls.from_json(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------- #
+# Generators (seeded, deterministic)
+# ---------------------------------------------------------------------- #
+def poisson_workload(
+    num_jobs: int,
+    rate: float,
+    seed: int = 0,
+    mix: JobMix = DEFAULT_MIX,
+    name: str | None = None,
+) -> Workload:
+    """Poisson arrivals: exponential inter-arrival gaps at ``rate`` jobs/sec."""
+    if num_jobs < 1:
+        raise ConfigurationError("num_jobs must be >= 1")
+    if rate <= 0:
+        raise ConfigurationError("arrival rate must be > 0")
+    rng = random.Random(seed)
+    jobs = []
+    now = 0.0
+    for index in range(num_jobs):
+        now += rng.expovariate(rate)
+        jobs.append(mix.sample(rng, job_id=f"job-{index:04d}", arrival_time=now))
+    return Workload(
+        name=name or f"poisson(rate={rate:g}, n={num_jobs}, seed={seed})",
+        jobs=tuple(jobs),
+    )
+
+
+def bursty_workload(
+    num_jobs: int,
+    burst_size: int = 8,
+    burst_gap: float = 120.0,
+    seed: int = 0,
+    mix: JobMix = DEFAULT_MIX,
+    name: str | None = None,
+) -> Workload:
+    """Bursty arrivals: gangs land ``burst_size`` at a time, then a lull.
+
+    All jobs of a burst share one arrival instant — the adversarial case for
+    gang scheduling, because every gang in the burst contends for the fleet
+    simultaneously.  Lulls between bursts are exponential with mean
+    ``burst_gap`` seconds.
+    """
+    if num_jobs < 1:
+        raise ConfigurationError("num_jobs must be >= 1")
+    if burst_size < 1:
+        raise ConfigurationError("burst_size must be >= 1")
+    if burst_gap <= 0:
+        raise ConfigurationError("burst_gap must be > 0")
+    rng = random.Random(seed)
+    jobs = []
+    now = 0.0
+    index = 0
+    while index < num_jobs:
+        now += rng.expovariate(1.0 / burst_gap)
+        for _ in range(min(burst_size, num_jobs - index)):
+            jobs.append(mix.sample(rng, job_id=f"job-{index:04d}", arrival_time=now))
+            index += 1
+    return Workload(
+        name=name or f"bursty(size={burst_size}, n={num_jobs}, seed={seed})",
+        jobs=tuple(jobs),
+    )
+
+
+def replay_workload(path: str | Path) -> Workload:
+    """Load a JSON workload trace (alias for :meth:`Workload.load`)."""
+    return Workload.load(path)
+
+
+def arrival_process(
+    kind: str,
+    num_jobs: int,
+    *,
+    rate: float = 0.05,
+    burst_size: int = 8,
+    burst_gap: float = 120.0,
+    seed: int = 0,
+    mix: JobMix = DEFAULT_MIX,
+) -> Workload:
+    """Build a workload by arrival-process name (``"poisson"`` / ``"bursty"``)."""
+    if kind == "poisson":
+        return poisson_workload(num_jobs, rate=rate, seed=seed, mix=mix)
+    if kind == "bursty":
+        return bursty_workload(
+            num_jobs, burst_size=burst_size, burst_gap=burst_gap, seed=seed, mix=mix
+        )
+    raise ConfigurationError(
+        f"unknown arrival process {kind!r}; known: 'poisson', 'bursty'"
+    )

@@ -99,12 +99,30 @@ class SessionStats:
     """Cache-activity counters, primarily for tests and capacity planning."""
 
     pair_builds: int = 0
+    pair_hits: int = 0
     server_builds: int = 0
+    server_hits: int = 0
     dataset_builds: int = 0
+    dataset_hits: int = 0
     executor_builds: int = 0
+    executor_hits: int = 0
     profile_builds: int = 0
     profile_hits: int = 0
     runs: int = 0
+
+    #: Caches with paired build/hit counters, addressable via :meth:`hit_rate`.
+    CACHES = ("pair", "server", "dataset", "executor", "profile")
+
+    def hit_rate(self, cache: str) -> float:
+        """Hit fraction for one cache (``"pair"``, ``"profile"``, ...)."""
+        if cache not in self.CACHES:
+            raise ConfigurationError(
+                f"unknown cache {cache!r}; known caches: {self.CACHES}"
+            )
+        builds = getattr(self, f"{cache}_builds")
+        hits = getattr(self, f"{cache}_hits")
+        total = builds + hits
+        return hits / total if total else 0.0
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)
@@ -239,6 +257,8 @@ class Session:
             if key not in self._pairs:
                 self._pairs[key] = config.build_pair()
                 self.stats.pair_builds += 1
+            else:
+                self.stats.pair_hits += 1
             return self._pairs[key]
 
     def server(self, config: ExperimentConfig) -> ServerSpec:
@@ -247,6 +267,8 @@ class Session:
             if key not in self._servers:
                 self._servers[key] = config.build_server()
                 self.stats.server_builds += 1
+            else:
+                self.stats.server_hits += 1
             return self._servers[key]
 
     def dataset(self, config: ExperimentConfig) -> DatasetSpec:
@@ -254,6 +276,8 @@ class Session:
             if config.dataset not in self._datasets:
                 self._datasets[config.dataset] = config.build_dataset()
                 self.stats.dataset_builds += 1
+            else:
+                self.stats.dataset_hits += 1
             return self._datasets[config.dataset]
 
     def executor(self, config: ExperimentConfig) -> ScheduleExecutor:
@@ -273,6 +297,8 @@ class Session:
                     simulated_steps=config.simulated_steps,
                 )
                 self.stats.executor_builds += 1
+            else:
+                self.stats.executor_hits += 1
             return self._executors[key]
 
     def profile(self, config: ExperimentConfig) -> ProfileTable:

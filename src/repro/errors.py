@@ -23,3 +23,7 @@ class MemoryCapacityError(ReproError):
 
 class ShapeError(ReproError):
     """Raised when tensor or layer shapes are inconsistent."""
+
+
+class ClusterError(ReproError):
+    """Raised when a cluster workload cannot be scheduled or is malformed."""

@@ -26,10 +26,11 @@ the order the paper plots them, so ``registry.names()`` starts with
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Protocol, Tuple, Type, Union, runtime_checkable
+from typing import Optional, Protocol, runtime_checkable
 
 from repro.data.dataset import DatasetSpec
 from repro.errors import ConfigurationError, ScheduleError
+from repro.registry import NamedRegistry, make_register
 from repro.hardware.server import ServerSpec
 from repro.models.pairs import DistillationPair
 from repro.parallel.baseline_dp import build_dp_plan
@@ -66,87 +67,31 @@ class Strategy(Protocol):
         ...
 
 
-class StrategyRegistry:
+class StrategyRegistry(NamedRegistry[Strategy]):
     """Ordered name -> :class:`Strategy` mapping with validated registration."""
 
-    def __init__(self) -> None:
-        self._strategies: Dict[str, Strategy] = {}
+    kind = "strategy"
+    kind_plural = "strategies"
 
-    # ------------------------------------------------------------------ #
-    def register(self, strategy: Strategy, *, replace: bool = False) -> Strategy:
-        """Register a strategy instance under its ``name``."""
-        name = getattr(strategy, "name", None)
-        if not isinstance(name, str) or not name:
-            raise ConfigurationError(
-                f"strategy {strategy!r} must expose a non-empty string 'name'"
-            )
+    def validate(self, name: str, strategy: Strategy) -> None:
         if not isinstance(getattr(strategy, "requires_profile", None), bool):
             raise ConfigurationError(
                 f"strategy {name!r} must expose a boolean 'requires_profile'"
             )
         if not callable(getattr(strategy, "build", None)):
             raise ConfigurationError(f"strategy {name!r} must expose a callable 'build'")
-        if name in self._strategies and not replace:
-            raise ConfigurationError(
-                f"strategy {name!r} is already registered; pass replace=True to override"
-            )
-        self._strategies[name] = strategy
-        return strategy
-
-    def unregister(self, name: str) -> None:
-        """Remove a strategy (used by tests and plugin teardown)."""
-        if name not in self._strategies:
-            raise ConfigurationError(f"strategy {name!r} is not registered")
-        del self._strategies[name]
-
-    def get(self, name: str) -> Strategy:
-        """Look up a strategy, with a helpful error naming the known set."""
-        try:
-            return self._strategies[name]
-        except KeyError:
-            raise ConfigurationError(
-                f"unknown strategy {name!r}; known strategies: {self.names()}"
-            ) from None
-
-    def names(self) -> Tuple[str, ...]:
-        """All registered names, in registration order."""
-        return tuple(self._strategies)
 
     def requires_profile(self, name: str) -> bool:
         return self.get(name).requires_profile
-
-    # ------------------------------------------------------------------ #
-    def __contains__(self, name: object) -> bool:
-        return name in self._strategies
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self._strategies)
-
-    def __len__(self) -> int:
-        return len(self._strategies)
 
 
 #: The process-wide registry every subsystem consults.
 REGISTRY = StrategyRegistry()
 
 
-def register_strategy(
-    strategy: Union[Strategy, Type[Strategy], None] = None, *, replace: bool = False
-):
-    """Register a strategy class or instance (usable as a decorator).
-
-    Decorating a class instantiates it with no arguments and registers the
-    instance; the class itself is returned so it stays importable/testable.
-    """
-
-    def _register(obj):
-        instance = obj() if isinstance(obj, type) else obj
-        REGISTRY.register(instance, replace=replace)
-        return obj
-
-    if strategy is None:
-        return _register
-    return _register(strategy)
+#: Register a strategy class or instance (usable as a decorator); see
+#: :func:`repro.registry.make_register`.
+register_strategy = make_register(REGISTRY)
 
 
 def _require_profile(name: str, profile: Optional[ProfileTable]) -> ProfileTable:

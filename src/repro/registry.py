@@ -1,0 +1,109 @@
+"""Generic ordered name -> member registry shared by the plugin points.
+
+Both plugin surfaces of the library — scheduling strategies
+(:mod:`repro.parallel.registry`) and cluster placement policies
+(:mod:`repro.cluster.scheduler`) — need the same machinery: validated
+registration under a unique string name, preserved registration order,
+helpful unknown-name errors, ``replace=True`` overrides and test-friendly
+unregistration.  :class:`NamedRegistry` owns that machinery once; each
+plugin point subclasses it with its member-specific validation hook and
+human-readable noun.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+
+Member = TypeVar("Member")
+
+
+class NamedRegistry(Generic[Member]):
+    """Ordered ``name -> member`` mapping with validated registration."""
+
+    #: Human-readable noun used in error messages ("strategy", "policy", ...).
+    kind = "member"
+    #: Plural form for known-name listings.
+    kind_plural = "members"
+
+    def __init__(self) -> None:
+        self._members: Dict[str, Member] = {}
+
+    # ------------------------------------------------------------------ #
+    def validate(self, name: str, member: Member) -> None:
+        """Member-specific checks; subclasses raise on malformed members."""
+
+    def register(self, member: Member, *, replace: bool = False) -> Member:
+        """Register a member under its ``name`` attribute."""
+        name = getattr(member, "name", None)
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(
+                f"{self.kind} {member!r} must expose a non-empty string 'name'"
+            )
+        self.validate(name, member)
+        if name in self._members and not replace:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is already registered; pass replace=True "
+                "to override"
+            )
+        self._members[name] = member
+        return member
+
+    def unregister(self, name: str) -> None:
+        """Remove a member (used by tests and plugin teardown)."""
+        if name not in self._members:
+            raise ConfigurationError(f"{self.kind} {name!r} is not registered")
+        del self._members[name]
+
+    def get(self, name: str) -> Member:
+        """Look up a member, with a helpful error naming the known set."""
+        try:
+            return self._members[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; known {self.kind_plural}: "
+                f"{self.names()}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, in registration order."""
+        return tuple(self._members)
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: object) -> bool:
+        return name in self._members
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+def make_register(registry: NamedRegistry):
+    """Build the ``@register_x`` decorator for a registry.
+
+    The returned function registers a member class or instance (decorating
+    a class instantiates it with no arguments and registers the instance;
+    the class itself is returned so it stays importable/testable) and
+    accepts ``replace=True`` to override an existing name.
+    """
+
+    def register(member=None, *, replace: bool = False):
+        def _register(obj):
+            instance = obj() if isinstance(obj, type) else obj
+            registry.register(instance, replace=replace)
+            return obj
+
+        if member is None:
+            return _register
+        return _register(member)
+
+    register.__doc__ = (
+        f"Register a {registry.kind} class or instance (usable as a decorator).\n\n"
+        "Decorating a class instantiates it with no arguments and registers\n"
+        "the instance; the class itself is returned so it stays\n"
+        "importable/testable.  Pass replace=True to override an existing name."
+    )
+    return register

@@ -1,0 +1,140 @@
+"""Tests for placement policies and the policy registry."""
+
+import pytest
+
+from repro.cluster.scheduler import (
+    POLICIES,
+    BestFitPacking,
+    FIFOFirstFit,
+    Placement,
+    PolicyRegistry,
+    ShortestJobFirst,
+    best_fit_node,
+    first_fit_node,
+    register_policy,
+)
+from repro.cluster.workload import JobSpec
+from repro.errors import ConfigurationError
+
+
+def job(job_id, gpus, arrival=0.0):
+    return JobSpec(job_id=job_id, arrival_time=arrival, gpus=gpus)
+
+
+FREE = {"n0": 1, "n1": 4, "n2": 2}
+
+
+class TestFitHelpers:
+    def test_first_fit_scans_in_order(self):
+        assert first_fit_node(job("a", 1), FREE) == "n0"
+        assert first_fit_node(job("a", 2), FREE) == "n1"
+        assert first_fit_node(job("a", 8), FREE) is None
+
+    def test_best_fit_minimises_stranded_gpus(self):
+        assert best_fit_node(job("a", 1), FREE) == "n0"
+        assert best_fit_node(job("a", 2), FREE) == "n2"
+        assert best_fit_node(job("a", 4), FREE) == "n1"
+        assert best_fit_node(job("a", 8), FREE) is None
+
+
+class TestBuiltInPolicies:
+    def test_builtins_registered_in_order(self):
+        assert POLICIES.names()[:3] == ("fifo", "best-fit", "sjf")
+
+    def test_fifo_blocks_behind_queue_head(self):
+        policy = FIFOFirstFit()
+        pending = (job("big", 4), job("small", 1))
+        # Head fits -> placed first-fit.
+        assert policy.place(pending, {"n0": 4}, None) == Placement("big", "n0")
+        # Head does not fit -> nothing starts, even though "small" would.
+        assert policy.place(pending, {"n0": 2}, None) is None
+        assert policy.place((), {"n0": 4}, None) is None
+
+    def test_best_fit_skips_blockers_and_packs(self):
+        policy = BestFitPacking()
+        pending = (job("big", 4), job("small", 1))
+        free = {"n0": 2, "n1": 1}
+        assert policy.place(pending, free, None) == Placement("small", "n1")
+        assert policy.place((job("big", 4),), free, None) is None
+
+    def test_sjf_orders_by_estimate(self):
+        policy = ShortestJobFirst()
+        pending = (job("slow", 1, arrival=0.0), job("fast", 1, arrival=1.0))
+        estimates = {"slow": 100.0, "fast": 1.0}
+        placement = policy.place(
+            pending, {"n0": 4}, lambda j: estimates[j.job_id]
+        )
+        assert placement == Placement("fast", "n0")
+
+    def test_sjf_tie_breaks_on_arrival_then_id(self):
+        policy = ShortestJobFirst()
+        pending = (job("b", 1, arrival=2.0), job("a", 1, arrival=2.0))
+        placement = policy.place(pending, {"n0": 1}, lambda j: 10.0)
+        assert placement.job_id == "a"
+
+
+class TestPolicyRegistry:
+    def test_register_get_unregister(self):
+        registry = PolicyRegistry()
+
+        class Custom:
+            name = "custom"
+
+            def place(self, pending, free_gpus, estimate):
+                return None
+
+        registry.register(Custom())
+        assert "custom" in registry
+        assert len(registry) == 1
+        assert registry.get("custom").name == "custom"
+        registry.unregister("custom")
+        assert "custom" not in registry
+        with pytest.raises(ConfigurationError):
+            registry.unregister("custom")
+
+    def test_registration_validation(self):
+        registry = PolicyRegistry()
+
+        class NoName:
+            def place(self, pending, free_gpus, estimate):
+                return None
+
+        with pytest.raises(ConfigurationError, match="name"):
+            registry.register(NoName())
+
+        class NoPlace:
+            name = "noplace"
+
+        with pytest.raises(ConfigurationError, match="place"):
+            registry.register(NoPlace())
+
+    def test_duplicate_requires_replace(self):
+        registry = PolicyRegistry()
+
+        class P:
+            name = "p"
+
+            def place(self, pending, free_gpus, estimate):
+                return None
+
+        registry.register(P())
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register(P())
+        registry.register(P(), replace=True)
+
+    def test_unknown_policy_error_names_known_set(self):
+        with pytest.raises(ConfigurationError, match="fifo"):
+            POLICIES.get("round-robin")
+
+    def test_register_policy_decorator_on_global_registry(self):
+        @register_policy
+        class Throwaway:
+            name = "throwaway-test-policy"
+
+            def place(self, pending, free_gpus, estimate):
+                return None
+
+        try:
+            assert "throwaway-test-policy" in POLICIES
+        finally:
+            POLICIES.unregister("throwaway-test-policy")

@@ -1,0 +1,303 @@
+"""Tests for the cluster event loop, cache amortisation and fleet reports."""
+
+import pytest
+
+from repro.analysis.cluster_report import ClusterReport, JobRecord, percentile
+from repro.cluster.scheduler import Placement, register_policy, POLICIES
+from repro.cluster.simulator import ClusterSimulator, run_policy_comparison
+from repro.cluster.spec import ClusterSpec, NodeSpec, default_cluster
+from repro.cluster.workload import JobMix, JobSpec, Workload, poisson_workload
+from repro.core.session import Session
+from repro.errors import ClusterError, ConfigurationError
+
+
+def job(job_id, arrival, gpus, **overrides):
+    defaults = dict(
+        job_id=job_id,
+        arrival_time=arrival,
+        gpus=gpus,
+        batch_size=128,
+        strategy="TR",
+        simulated_steps=4,
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+@pytest.fixture
+def small_cluster():
+    return ClusterSpec(
+        name="2-node",
+        nodes=(
+            NodeSpec(name="a", server="a6000", num_gpus=4),
+            NodeSpec(name="b", server="2080ti", num_gpus=2),
+        ),
+    )
+
+
+class TestEventLoop:
+    def test_single_job_runs_immediately(self, small_cluster):
+        simulator = ClusterSimulator(small_cluster, policy="fifo")
+        workload = Workload(name="one", jobs=(job("j0", 5.0, 2),))
+        report = simulator.run(workload)
+        record = report.records[0]
+        assert record.node == "a"
+        assert record.start_time == 5.0
+        assert record.wait_time == 0.0
+        assert record.finish_time == pytest.approx(
+            5.0 + simulator.service_time(workload.jobs[0], small_cluster.nodes[0])
+        )
+
+    def test_queueing_when_fleet_full(self, small_cluster):
+        # Two 4-GPU gangs: only node "a" can hold them, so they serialise.
+        workload = Workload(
+            name="contended", jobs=(job("j0", 0.0, 4), job("j1", 0.0, 4))
+        )
+        report = ClusterSimulator(small_cluster, policy="fifo").run(workload)
+        first, second = report.records
+        assert first.node == "a" and second.node == "a"
+        assert second.start_time == pytest.approx(first.finish_time)
+        assert second.wait_time > 0.0
+
+    def test_epochs_scale_service_time(self, small_cluster):
+        simulator = ClusterSimulator(small_cluster)
+        one = job("j0", 0.0, 2)
+        three = job("j1", 0.0, 2, epochs=3)
+        node = small_cluster.nodes[0]
+        assert simulator.service_time(three, node) == pytest.approx(
+            3 * simulator.service_time(one, node)
+        )
+
+    def test_oversized_gang_rejected_upfront(self, small_cluster):
+        workload = Workload(name="fat", jobs=(job("j0", 0.0, 8),))
+        with pytest.raises(ClusterError, match="8-GPU gang"):
+            ClusterSimulator(small_cluster).run(workload)
+
+    def test_completion_frees_gpus_for_waiting_gang(self, small_cluster):
+        # j1's 4-gang must wait for j0 to release node "a"; j2's 2-gang
+        # slots onto node "b" meanwhile (best-fit skips the blocked head).
+        workload = Workload(
+            name="interleave",
+            jobs=(job("j0", 0.0, 4), job("j1", 1.0, 4), job("j2", 2.0, 2)),
+        )
+        report = ClusterSimulator(small_cluster, policy="best-fit").run(workload)
+        by_id = {record.job_id: record for record in report.records}
+        assert by_id["j1"].start_time == pytest.approx(by_id["j0"].finish_time)
+        assert by_id["j2"].node == "b"
+        assert by_id["j2"].start_time == pytest.approx(2.0)
+
+
+class TestDeterminismAndAmortisation:
+    def test_same_seed_same_report(self):
+        cluster = default_cluster()
+        workload = poisson_workload(40, rate=0.5, seed=11)
+        first = ClusterSimulator(cluster, policy="sjf").run(workload)
+        second = ClusterSimulator(cluster, policy="sjf").run(workload)
+        assert first.to_dict() == second.to_dict()
+
+    def test_session_caches_amortise_across_jobs(self):
+        cluster = default_cluster()
+        mix = JobMix(
+            tasks=("nas",),
+            datasets=("cifar10",),
+            batch_sizes=(128, 256),
+            gpu_demands=(2, 4),
+            strategies=("TR+DPU+AHD",),
+            epochs=(1, 2),
+        )
+        workload = poisson_workload(200, rate=0.5, seed=0, mix=mix)
+        session = Session()
+        simulator = ClusterSimulator(cluster, policy="best-fit", session=session)
+        report = simulator.run(workload)
+        assert report.num_jobs == 200
+        # 2 batch sizes x 2 gang sizes x 2 node types = at most 8 cells.
+        assert session.stats.profile_builds <= 8
+        assert simulator.simulations_run <= 8
+        assert session.stats.profile_builds < len(workload) / 10
+
+    def test_policy_comparison_shares_session(self):
+        cluster = default_cluster()
+        workload = poisson_workload(30, rate=0.5, seed=2)
+        session = Session()
+        reports = run_policy_comparison(cluster, workload, session=session)
+        assert set(reports) == {"fifo", "best-fit", "sjf"}
+        for report in reports.values():
+            assert report.num_jobs == 30
+        # All three policies see the same cells: profiling happened once.
+        assert session.stats.profile_hits > 0
+
+    def test_policy_comparison_shares_epoch_time_memo(self):
+        """Later policies reuse earlier policies' simulated epoch times."""
+        cluster = default_cluster()
+        workload = poisson_workload(30, rate=0.5, seed=2)
+
+        session_one = Session()
+        run_policy_comparison(cluster, workload, policies=("fifo",), session=session_one)
+        single_policy_runs = session_one.stats.runs
+
+        # An identical second pass over the same memo adds zero simulations.
+        session_twice = Session()
+        run_policy_comparison(
+            cluster, workload, policies=("fifo", "fifo"), session=session_twice
+        )
+        assert session_twice.stats.runs == single_policy_runs
+
+        # Distinct policies may land jobs on new (cell, node-type) combos,
+        # but sharing still keeps the total well under per-policy cost.
+        session_three = Session()
+        run_policy_comparison(cluster, workload, session=session_three)
+        assert session_three.stats.runs < 3 * single_policy_runs
+
+    def test_explicit_epoch_time_cache_is_shared(self, small_cluster):
+        shared = {}
+        session = Session()
+        workload = Workload(name="w", jobs=(job("j0", 0.0, 2),))
+        ClusterSimulator(
+            small_cluster, session=session, epoch_time_cache=shared
+        ).run(workload)
+        runs_after_first = session.stats.runs
+        second = ClusterSimulator(
+            small_cluster, session=session, epoch_time_cache=shared
+        )
+        second.run(workload)
+        assert session.stats.runs == runs_after_first
+        assert second.simulations_run == len(shared)
+
+    def test_acceptance_criterion_200_jobs_all_policies(self):
+        """Seeded 200-job Poisson workload, 4-node cluster, three policies."""
+        cluster = default_cluster()
+        workload = poisson_workload(200, rate=0.5, seed=0)
+        session = Session()
+        reports = run_policy_comparison(cluster, workload, session=session)
+        again = run_policy_comparison(
+            cluster, workload, session=Session()
+        )
+        for name, report in reports.items():
+            assert report.num_jobs == 200
+            assert report.makespan > 0
+            assert 0 < report.gpu_utilization <= 1
+            assert report.jobs_per_hour > 0
+            assert report.to_dict() == again[name].to_dict()
+        assert session.stats.profile_builds * 4 < len(workload)
+
+
+class TestPolicyBehaviourOnFleet:
+    def test_best_fit_packs_no_worse_than_fifo(self):
+        cluster = default_cluster()
+        workload = poisson_workload(80, rate=0.5, seed=4)
+        reports = run_policy_comparison(
+            cluster, workload, policies=("fifo", "best-fit")
+        )
+        assert reports["best-fit"].makespan <= reports["fifo"].makespan + 1e-9
+
+    def test_sjf_mean_wait_no_worse_than_fifo(self):
+        cluster = default_cluster()
+        workload = poisson_workload(80, rate=0.5, seed=4)
+        reports = run_policy_comparison(cluster, workload, policies=("fifo", "sjf"))
+        assert reports["sjf"].mean_wait <= reports["fifo"].mean_wait + 1e-9
+
+    def test_misbehaving_policy_is_caught(self, small_cluster):
+        @register_policy
+        class Overcommit:
+            name = "overcommit-test"
+
+            def place(self, pending, free_gpus, estimate):
+                if not pending:
+                    return None
+                return Placement(job_id=pending[0].job_id, node="a")
+
+        try:
+            workload = Workload(
+                name="w", jobs=(job("j0", 0.0, 4), job("j1", 0.0, 4))
+            )
+            with pytest.raises(ClusterError, match="free"):
+                ClusterSimulator(small_cluster, policy="overcommit-test").run(workload)
+        finally:
+            POLICIES.unregister("overcommit-test")
+
+    def test_phantom_placement_is_caught(self, small_cluster):
+        @register_policy
+        class Phantom:
+            name = "phantom-test"
+
+            def place(self, pending, free_gpus, estimate):
+                return Placement(job_id="ghost", node="a") if pending else None
+
+        try:
+            workload = Workload(name="w", jobs=(job("j0", 0.0, 2),))
+            with pytest.raises(ClusterError, match="unknown job"):
+                ClusterSimulator(small_cluster, policy="phantom-test").run(workload)
+        finally:
+            POLICIES.unregister("phantom-test")
+
+
+class TestClusterReport:
+    def make_report(self):
+        records = (
+            JobRecord(
+                job_id="j0", node="a", gpus=2, strategy="TR", cell="c",
+                arrival_time=0.0, start_time=0.0, finish_time=10.0,
+            ),
+            JobRecord(
+                job_id="j1", node="b", gpus=1, strategy="TR", cell="c",
+                arrival_time=0.0, start_time=5.0, finish_time=20.0,
+            ),
+        )
+        return ClusterReport(
+            policy="fifo",
+            cluster_name="test",
+            workload_name="w",
+            node_gpus={"a": 2, "b": 2},
+            records=records,
+        )
+
+    def test_scalar_metrics(self):
+        report = self.make_report()
+        assert report.num_jobs == 2
+        assert report.makespan == 20.0
+        assert report.mean_wait == pytest.approx(2.5)
+        assert report.p95_wait == pytest.approx(5.0)
+        # busy gpu-seconds: 2*10 + 1*15 = 35 over 4 gpus * 20s.
+        assert report.gpu_utilization == pytest.approx(35 / 80)
+        assert report.jobs_per_hour == pytest.approx(2 / 20 * 3600)
+        assert report.per_node_utilization()["a"] == pytest.approx(20 / 40)
+        assert report.per_node_jobs() == {"a": 1, "b": 1}
+        assert report.waits_by_gang_size() == {1: 5.0, 2: 0.0}
+
+    def test_empty_report_metrics_are_zero(self):
+        report = ClusterReport(
+            policy="fifo", cluster_name="c", workload_name="w",
+            node_gpus={"a": 4}, records=(),
+        )
+        assert report.makespan == 0.0
+        assert report.mean_wait == 0.0
+        assert report.gpu_utilization == 0.0
+        assert report.jobs_per_hour == 0.0
+
+    def test_dict_roundtrip(self):
+        report = self.make_report()
+        rebuilt = ClusterReport.from_dict(report.to_dict())
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_record_validation(self):
+        with pytest.raises(ConfigurationError):
+            JobRecord(
+                job_id="j", node="a", gpus=1, strategy="TR", cell="c",
+                arrival_time=5.0, start_time=0.0, finish_time=10.0,
+            )
+        with pytest.raises(ConfigurationError):
+            JobRecord(
+                job_id="j", node="a", gpus=1, strategy="TR", cell="c",
+                arrival_time=0.0, start_time=5.0, finish_time=1.0,
+            )
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 95) == 95
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+        assert percentile([3.0], 50) == 3.0
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)

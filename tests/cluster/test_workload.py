@@ -1,0 +1,146 @@
+"""Tests for job specs, workload generators and JSON trace replay."""
+
+import json
+
+import pytest
+
+from repro.cluster.workload import (
+    DEFAULT_MIX,
+    JobMix,
+    JobSpec,
+    Workload,
+    arrival_process,
+    bursty_workload,
+    poisson_workload,
+)
+from repro.errors import ConfigurationError
+
+
+def job(job_id="job-0", arrival=0.0, **overrides):
+    defaults = dict(job_id=job_id, arrival_time=arrival, gpus=2)
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+class TestJobSpec:
+    def test_experiment_config_binds_server_at_placement_time(self):
+        spec = job(gpus=2, batch_size=128, strategy="TR")
+        config = spec.experiment_config("2080ti")
+        assert config.server == "2080ti"
+        assert config.num_gpus == 2
+        assert config.batch_size == 128
+        assert config.strategy == "TR"
+        assert config.simulated_steps == spec.simulated_steps
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            job(job_id="")
+        with pytest.raises(ConfigurationError):
+            job(arrival=-1.0)
+        with pytest.raises(ConfigurationError):
+            job(gpus=0)
+        with pytest.raises(ConfigurationError):
+            job(epochs=0)
+        with pytest.raises(ConfigurationError):
+            job(task="detection")
+        with pytest.raises(ConfigurationError):
+            job(strategy="FSDP")
+        with pytest.raises(ConfigurationError):
+            job(gpus=4, batch_size=2)
+        with pytest.raises(ConfigurationError, match="simulated_steps"):
+            job(simulated_steps=2)
+
+    def test_dict_roundtrip(self):
+        spec = job(task="compression", epochs=3, simulated_steps=8)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestGenerators:
+    def test_poisson_is_seed_deterministic(self):
+        first = poisson_workload(50, rate=0.1, seed=7)
+        second = poisson_workload(50, rate=0.1, seed=7)
+        other = poisson_workload(50, rate=0.1, seed=8)
+        assert first.jobs == second.jobs
+        assert first.jobs != other.jobs
+
+    def test_poisson_arrivals_sorted_and_ids_unique(self):
+        workload = poisson_workload(100, rate=0.5, seed=0)
+        arrivals = [j.arrival_time for j in workload]
+        assert arrivals == sorted(arrivals)
+        assert len({j.job_id for j in workload}) == 100
+
+    def test_bursty_shares_arrival_instants(self):
+        workload = bursty_workload(40, burst_size=10, burst_gap=60.0, seed=3)
+        arrivals = [j.arrival_time for j in workload]
+        # 40 jobs in bursts of 10 -> exactly 4 distinct arrival instants.
+        assert len(set(arrivals)) == 4
+
+    def test_mix_respected(self):
+        mix = JobMix(
+            tasks=("compression",),
+            datasets=("cifar10",),
+            batch_sizes=(64,),
+            gpu_demands=(1,),
+            strategies=("DP",),
+            epochs=(2,),
+        )
+        workload = poisson_workload(10, rate=1.0, seed=0, mix=mix)
+        for spec in workload:
+            assert spec.task == "compression"
+            assert spec.batch_size == 64
+            assert spec.gpus == 1
+            assert spec.strategy == "DP"
+            assert spec.epochs == 2
+
+    def test_empty_mix_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobMix(tasks=())
+
+    def test_arrival_process_dispatch(self):
+        assert len(arrival_process("poisson", 5, rate=1.0)) == 5
+        assert len(arrival_process("bursty", 5, burst_size=2)) == 5
+        with pytest.raises(ConfigurationError):
+            arrival_process("adversarial", 5)
+
+    def test_generator_argument_validation(self):
+        with pytest.raises(ConfigurationError):
+            poisson_workload(0, rate=1.0)
+        with pytest.raises(ConfigurationError):
+            poisson_workload(5, rate=0.0)
+        with pytest.raises(ConfigurationError):
+            bursty_workload(5, burst_size=0)
+
+
+class TestWorkload:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Workload(name="w", jobs=(job("a"), job("a")))
+        with pytest.raises(ConfigurationError, match="sorted"):
+            Workload(name="w", jobs=(job("a", arrival=5.0), job("b", arrival=1.0)))
+
+    def test_scaled_arrivals(self):
+        workload = poisson_workload(10, rate=0.2, seed=1)
+        squeezed = workload.scaled_arrivals(0.5)
+        assert squeezed.duration == pytest.approx(workload.duration * 0.5)
+        with pytest.raises(ConfigurationError):
+            workload.scaled_arrivals(0.0)
+
+    def test_json_roundtrip_and_replay(self, tmp_path):
+        workload = poisson_workload(20, rate=0.1, seed=5, mix=DEFAULT_MIX)
+        path = workload.save(tmp_path / "trace.json")
+        replayed = Workload.load(path)
+        assert replayed == workload
+        payload = json.loads(workload.to_json())
+        assert payload["name"] == workload.name
+        assert len(payload["jobs"]) == 20
+
+    def test_from_dict_sorts_unordered_traces(self):
+        payload = {
+            "name": "hand-written",
+            "jobs": [
+                job("late", arrival=9.0).to_dict(),
+                job("early", arrival=1.0).to_dict(),
+            ],
+        }
+        workload = Workload.from_dict(payload)
+        assert [j.job_id for j in workload] == ["early", "late"]

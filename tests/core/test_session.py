@@ -30,6 +30,60 @@ class TestSessionCaching:
         assert session.stats.pair_builds == 1
         assert session.stats.server_builds == 1
         assert session.stats.dataset_builds == 1
+        # The second access of each artefact is a recorded cache hit.
+        assert session.stats.pair_hits == 1
+        assert session.stats.server_hits == 1
+        assert session.stats.dataset_hits == 1
+
+    def test_executor_hits_counted(self, session, fast_config):
+        session.executor(fast_config)
+        session.executor(fast_config)
+        session.executor(fast_config)
+        assert session.stats.executor_builds == 1
+        assert session.stats.executor_hits == 2
+
+    def test_hit_counters_accumulate_across_runs(self, session, fast_config):
+        session.ablation(fast_config, strategies=("TR", "TR+DPU"))
+        stats = session.stats
+        # One build per artefact, every later touch a hit.
+        assert stats.pair_builds == 1
+        assert stats.server_builds == 1
+        assert stats.dataset_builds == 1
+        assert stats.executor_builds == 1
+        assert stats.profile_builds == 1
+        assert stats.pair_hits > 0
+        assert stats.server_hits > 0
+        assert stats.dataset_hits > 0
+        assert stats.executor_hits > 0
+        assert stats.profile_hits == 1
+        assert 0.0 < stats.hit_rate("pair") < 1.0
+        assert stats.hit_rate("profile") == 0.5
+
+    def test_hit_rate_of_untouched_cache_is_zero(self, session):
+        assert session.stats.hit_rate("executor") == 0.0
+
+    def test_hit_rate_rejects_unknown_cache(self, session):
+        with pytest.raises(ConfigurationError, match="known caches"):
+            session.stats.hit_rate("runs")
+
+    def test_stats_to_dict_surfaces_all_counters(self, session, fast_config):
+        session.run(fast_config, strategy="TR")
+        payload = session.stats.to_dict()
+        for counter in (
+            "pair_builds",
+            "pair_hits",
+            "server_builds",
+            "server_hits",
+            "dataset_builds",
+            "dataset_hits",
+            "executor_builds",
+            "executor_hits",
+            "profile_builds",
+            "profile_hits",
+            "runs",
+        ):
+            assert counter in payload
+        assert payload["runs"] == 1
 
     def test_profile_built_once_per_cell(self, session, fast_config):
         first = session.profile(fast_config)

@@ -1,0 +1,129 @@
+"""Registry-wide invariants: every registered strategy builds a valid,
+deterministic plan.
+
+These tests parametrise over ``REGISTRY.names()`` at collection time, so any
+strategy registered by a plugin import before collection is held to the same
+contract as the six built-ins: the plan covers every block exactly once,
+only addresses real devices, and simulating the same cell twice from fresh
+sessions yields bit-identical results.
+"""
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.session import Session
+from repro.parallel.registry import REGISTRY
+
+
+def fast_config(strategy: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        task="nas",
+        dataset="cifar10",
+        num_gpus=4,
+        batch_size=128,
+        strategy=strategy,
+        simulated_steps=4,
+    )
+
+
+def build_plan(strategy: str, session: Session):
+    config = fast_config(strategy)
+    planner = REGISTRY.get(strategy)
+    profile = session.profile(config) if planner.requires_profile else None
+    return planner.build(
+        session.pair(config),
+        session.server(config),
+        config.batch_size,
+        session.dataset(config),
+        profile=profile,
+    ), config
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+@pytest.mark.parametrize("strategy", REGISTRY.names())
+class TestRegistryInvariants:
+    def test_plan_covers_all_blocks_and_devices(self, strategy, session):
+        plan, config = build_plan(strategy, session)
+        pair = session.pair(config)
+
+        assert plan.strategy == strategy
+        assert plan.num_blocks == pair.num_blocks
+        assert plan.num_devices == config.num_gpus
+        assert plan.batch_size == config.batch_size
+
+        # Every block is owned exactly once, whatever the plan kind.
+        if plan.kind == "pipeline":
+            covered = sorted(
+                block for stage in plan.stages for block in stage.block_ids
+            )
+            assert covered == list(range(pair.num_blocks))
+        elif plan.kind == "layerwise":
+            covered = sorted(
+                block for blocks in plan.device_blocks.values() for block in blocks
+            )
+            assert covered == list(range(pair.num_blocks))
+        else:
+            assert plan.kind == "data_parallel"
+
+        # Devices: at least one active, all within range, none used twice.
+        active = plan.active_devices()
+        assert active
+        assert len(set(active)) == len(active)
+        assert all(0 <= device < plan.num_devices for device in active)
+
+        # Every active device has a positive micro-batch.
+        per_device = plan.per_device_batch()
+        assert set(per_device) == set(active)
+        assert all(batch >= 1 for batch in per_device.values())
+
+    def test_requires_profile_flag_is_honest(self, strategy, session):
+        config = fast_config(strategy)
+        planner = REGISTRY.get(strategy)
+        if planner.requires_profile:
+            # Without a profile the strategy must refuse, not silently degrade.
+            from repro.errors import ScheduleError
+
+            with pytest.raises(ScheduleError):
+                planner.build(
+                    session.pair(config),
+                    session.server(config),
+                    config.batch_size,
+                    session.dataset(config),
+                    profile=None,
+                )
+        else:
+            plan = planner.build(
+                session.pair(config),
+                session.server(config),
+                config.batch_size,
+                session.dataset(config),
+                profile=None,
+            )
+            assert plan.num_blocks == session.pair(config).num_blocks
+
+    def test_same_seed_simulates_identically(self, strategy):
+        config = fast_config(strategy)
+        first = Session().run(config)
+        second = Session().run(config)
+
+        assert first.epoch_time == second.epoch_time
+        assert first.step_time == second.step_time
+        assert first.plan == second.plan
+        # Full serialised results (breakdowns, memory, metadata) match.
+        assert first.to_dict() == second.to_dict()
+        # The simulated traces are event-for-event identical.
+        if first.trace is not None:
+            assert second.trace is not None
+            assert len(first.trace) == len(second.trace)
+            assert first.trace.makespan == second.trace.makespan
+            first_events = [
+                (record.task.name, record.start, record.end) for record in first.trace
+            ]
+            second_events = [
+                (record.task.name, record.start, record.end) for record in second.trace
+            ]
+            assert first_events == second_events

@@ -1,0 +1,179 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cluster.workload import poisson_workload
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured
+
+
+class TestRun:
+    def test_run_prints_result_json(self, capsys):
+        code, captured = run_cli(
+            capsys,
+            "run",
+            "--strategy",
+            "TR",
+            "--num-gpus",
+            "2",
+            "--batch-size",
+            "128",
+            "--steps",
+            "4",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["config"]["strategy"] == "TR"
+        assert payload["result"]["epoch_time_s"] > 0
+
+    def test_run_out_file(self, capsys, tmp_path):
+        target = tmp_path / "result.json"
+        code, captured = run_cli(
+            capsys, "run", "--strategy", "DP", "--steps", "4", "--out", str(target)
+        )
+        assert code == 0
+        assert str(target) in captured.out
+        payload = json.loads(target.read_text())
+        assert payload["result"]["strategy"] == "DP"
+
+    def test_unknown_strategy_is_reported_not_raised(self, capsys):
+        code, captured = run_cli(capsys, "run", "--strategy", "FSDP")
+        assert code == 2
+        assert "error:" in captured.err
+        assert "FSDP" in captured.err
+
+
+class TestSweep:
+    def test_sweep_grid_json(self, capsys):
+        code, captured = run_cli(
+            capsys,
+            "sweep",
+            "--batch-sizes",
+            "128,256",
+            "--strategies",
+            "DP,TR",
+            "--steps",
+            "4",
+            "--table",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["strategies"] == ["DP", "TR"]
+        assert len(payload["cells"]) == 2
+        assert "Speedup over DP" in captured.err
+
+    def test_sweep_table_without_default_baseline_falls_back(self, capsys):
+        code, captured = run_cli(
+            capsys,
+            "sweep",
+            "--batch-sizes",
+            "128,256",
+            "--strategies",
+            "TR,TR+DPU",
+            "--steps",
+            "4",
+            "--table",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["strategies"] == ["TR", "TR+DPU"]
+        assert "Speedup over TR" in captured.err
+
+
+class TestCluster:
+    def test_cluster_all_policies(self, capsys, tmp_path):
+        target = tmp_path / "cluster.json"
+        code, captured = run_cli(
+            capsys,
+            "cluster",
+            "--num-jobs",
+            "12",
+            "--rate",
+            "0.5",
+            "--seed",
+            "3",
+            "--table",
+            "--out",
+            str(target),
+        )
+        assert code == 0
+        assert "policy" in captured.err  # comparison table on stderr
+        payload = json.loads(target.read_text())
+        assert set(payload["reports"]) == {"fifo", "best-fit", "sjf"}
+        for report in payload["reports"].values():
+            assert report["num_jobs"] == 12
+        assert payload["session_stats"]["profile_builds"] > 0
+
+    def test_cluster_shorthand_and_single_policy(self, capsys):
+        code, captured = run_cli(
+            capsys,
+            "cluster",
+            "--nodes",
+            "a6000:4,2080ti:2",
+            "--policy",
+            "best-fit",
+            "--num-jobs",
+            "6",
+            "--arrival",
+            "bursty",
+            "--burst-size",
+            "3",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert list(payload["reports"]) == ["best-fit"]
+        assert payload["cluster"]["nodes"][1]["server"] == "2080ti"
+
+    def test_cluster_workload_replay_roundtrip(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        poisson_workload(8, rate=0.5, seed=9).save(trace)
+        code, captured = run_cli(
+            capsys, "cluster", "--workload", str(trace), "--policy", "fifo"
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["reports"]["fifo"]["num_jobs"] == 8
+
+    def test_save_workload(self, capsys, tmp_path):
+        target = tmp_path / "generated.json"
+        code, captured = run_cli(
+            capsys,
+            "cluster",
+            "--num-jobs",
+            "5",
+            "--policy",
+            "fifo",
+            "--save-workload",
+            str(target),
+        )
+        assert code == 0
+        saved = json.loads(target.read_text())
+        assert len(saved["jobs"]) == 5
+
+    def test_cluster_error_is_reported_not_raised(self, capsys):
+        # A 1-GPU fleet cannot host the default mix's 4-GPU gangs.
+        code, captured = run_cli(
+            capsys, "cluster", "--nodes", "a6000:1", "--num-jobs", "20"
+        )
+        assert code == 2
+        assert "error:" in captured.err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_reported(self, capsys):
+        code, captured = run_cli(
+            capsys, "cluster", "--policy", "round-robin", "--num-jobs", "4"
+        )
+        assert code == 2
+        assert "unknown placement policy" in captured.err
