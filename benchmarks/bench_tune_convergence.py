@@ -1,0 +1,95 @@
+"""Autotuner convergence: how fast each driver finds the grid optimum.
+
+For a fixed tuning grid and a ladder of simulation budgets, every registered
+search driver is scored on (a) the best epoch time it found, (b) how many
+discrete-event simulations it spent and (c) how many *distinct cells* it
+simulated.  Exhaustive search is the ground truth; successive halving should
+match its optimum at a fraction of the simulations, and seeded random search
+falls in between.  See ``docs/TUNING.md`` for the driver guide.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, emit_json
+from repro.core.reporting import format_table
+from repro.core.session import Session
+from repro.tune.drivers import DRIVERS
+from repro.tune.space import TuneSpace
+from repro.tune.tuner import tune
+
+BUDGETS = (8, 16, 32)
+
+
+def bench_space() -> TuneSpace:
+    return TuneSpace(
+        strategies=("DP", "LS", "TR", "TR+DPU", "TR+IR", "TR+DPU+AHD"),
+        batch_sizes=(128, 256, 512),
+        gpu_counts=(2, 4),
+        servers=("a6000",),
+    )
+
+
+def test_tune_convergence(fast_steps):
+    space = bench_space()
+    truth = tune(
+        space,
+        objective="epoch_time",
+        driver="exhaustive",
+        budget=len(space),
+        simulated_steps=fast_steps,
+        session=Session(),
+    )
+    optimum = truth.best.epoch_time
+
+    rows = []
+    payload = {"grid_size": len(space), "optimum_epoch_time_s": optimum, "runs": []}
+    for driver in DRIVERS.names():
+        for budget in BUDGETS:
+            result = tune(
+                space,
+                objective="epoch_time",
+                driver=driver,
+                budget=budget,
+                seed=0,
+                simulated_steps=fast_steps,
+                session=Session(),
+            )
+            gap = result.best.epoch_time / optimum - 1.0
+            rows.append(
+                [
+                    driver,
+                    str(budget),
+                    str(result.evaluator_stats["simulations"]),
+                    f"{result.best.epoch_time:.2f}s",
+                    f"{gap * 100:.1f}%",
+                    str(len(result.frontier)),
+                ]
+            )
+            payload["runs"].append(
+                {
+                    "driver": driver,
+                    "budget": budget,
+                    "simulations": result.evaluator_stats["simulations"],
+                    "best_epoch_time_s": result.best.epoch_time,
+                    "optimality_gap": gap,
+                    "trajectory": list(result.trajectory),
+                }
+            )
+            assert result.best.epoch_time >= optimum * (1.0 - 1e-9)
+
+    emit(
+        f"Tune convergence vs exhaustive optimum ({optimum:.2f}s on {len(space)} cells)",
+        format_table(
+            ["driver", "budget", "sims", "best epoch", "gap", "frontier"], rows
+        ),
+    )
+    emit_json("bench_tune_convergence", payload)
+
+    # Halving at the largest budget must match the exhaustive optimum.
+    halving = [
+        run
+        for run in payload["runs"]
+        if run["driver"] == "successive-halving" and run["budget"] == BUDGETS[-1]
+    ][0]
+    assert abs(halving["best_epoch_time_s"] - optimum) < 1e-9
+    assert halving["simulations"] < len(space)

@@ -22,8 +22,13 @@ Blockwise Distillation" (DATE 2023).  It contains:
 * ``repro.cluster`` — the fleet layer above single-server Pipe-BD:
   multi-job workload generation, pluggable gang-scheduling policies and an
   event-driven cluster simulator.
+* ``repro.tune`` — the autotuner: search-space DSL, pluggable objectives
+  and search drivers, incremental evaluation and Pareto-frontier results.
 * ``repro.analysis`` — breakdowns, speedups, memory reports, schedule
-  visualisation and fleet-level cluster reports.
+  visualisation, fleet-level cluster reports and Pareto analytics.
+
+See ``docs/ARCHITECTURE.md`` for the layer map, ``docs/API.md`` for the
+public API reference and ``docs/TUNING.md`` for the autotuning guide.
 """
 
 from repro.version import __version__
@@ -42,6 +47,15 @@ from repro.cluster import (
     poisson_workload,
     register_policy,
     run_policy_comparison,
+)
+from repro.tune import (
+    DRIVERS,
+    OBJECTIVES,
+    TuneResult,
+    TuneSpace,
+    register_driver,
+    register_objective,
+    tune,
 )
 
 __all__ = [
@@ -64,4 +78,11 @@ __all__ = [
     "poisson_workload",
     "register_policy",
     "run_policy_comparison",
+    "DRIVERS",
+    "OBJECTIVES",
+    "TuneResult",
+    "TuneSpace",
+    "register_driver",
+    "register_objective",
+    "tune",
 ]

@@ -23,6 +23,16 @@ from repro.analysis.cluster_report import (
     format_cluster_report,
     percentile,
 )
+from repro.analysis.pareto import (
+    assert_frontier_consistent,
+    dominated_fraction,
+    format_frontier_table,
+    format_tune_summary,
+    frontier_points,
+    frontier_series,
+    hypervolume_2d,
+    load_tune_result,
+)
 
 __all__ = [
     "epoch_breakdown",
@@ -46,4 +56,12 @@ __all__ = [
     "compare_policies",
     "format_cluster_report",
     "percentile",
+    "assert_frontier_consistent",
+    "dominated_fraction",
+    "format_frontier_table",
+    "format_tune_summary",
+    "frontier_points",
+    "frontier_series",
+    "hypervolume_2d",
+    "load_tune_result",
 ]

@@ -1,0 +1,224 @@
+"""Pareto-frontier analytics over autotuning results.
+
+Covered by ``docs/TUNING.md`` (reading results) and ``docs/API.md``.
+
+These helpers consume either a live :class:`~repro.tune.result.TuneResult`
+or the JSON document its ``to_dict``/``to_json`` export (e.g. written by
+``python -m repro tune --out result.json``), so notebooks can post-process
+tuning runs without re-simulating anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.core.reporting import format_table
+from repro.errors import ConfigurationError
+
+ResultLike = Union[dict, "TuneResult"]  # noqa: F821 - TuneResult via duck typing
+
+
+def _as_dict(result: ResultLike) -> dict:
+    if hasattr(result, "to_dict"):
+        return result.to_dict()
+    if isinstance(result, dict):
+        return result
+    raise ConfigurationError(
+        f"expected a TuneResult or its dict export, got {type(result).__name__}"
+    )
+
+
+def load_tune_result(path: Union[str, Path]) -> dict:
+    """Load a tune-result JSON document written by the CLI or ``to_json``.
+
+    Example:
+        >>> import tempfile, os
+        >>> from repro.analysis.pareto import load_tune_result
+        >>> from repro.tune import TuneSpace, tune
+        >>> result = tune(TuneSpace(strategies=("DP",), batch_sizes=(128,),
+        ...                         gpu_counts=(2,)),
+        ...               driver="exhaustive", budget=1, simulated_steps=4)
+        >>> handle, path = tempfile.mkstemp(suffix=".json"); os.close(handle)
+        >>> _ = open(path, "w").write(result.to_json())
+        >>> load_tune_result(path)["driver"]
+        'exhaustive'
+        >>> os.remove(path)
+    """
+    payload = json.loads(Path(path).read_text())
+    for field in ("frontier", "best", "objective"):
+        if field not in payload:
+            raise ConfigurationError(
+                f"{path} is not a tune result (missing {field!r})"
+            )
+    return payload
+
+
+def frontier_points(result: ResultLike) -> List[dict]:
+    """The frontier's measurement dicts, fastest-first."""
+    return list(_as_dict(result)["frontier"])
+
+
+def dominated_fraction(result: ResultLike) -> float:
+    """Fraction of evaluated candidates pruned as Pareto-dominated."""
+    payload = _as_dict(result)
+    total = len(payload["measurements"])
+    if total == 0:
+        return 0.0
+    return 1.0 - len(payload["frontier"]) / total
+
+
+#: Frontier axes where larger is better; every other axis is minimised.
+MAXIMISED_AXES = frozenset({"jobs_per_hour"})
+
+
+def frontier_series(
+    result: ResultLike, x: str = "gpus", y: str = "epoch_time_s"
+) -> Dict[float, float]:
+    """One frontier axis against another, keeping the best ``y`` per ``x``.
+
+    "Best" respects the axis's sense: minimised axes (``epoch_time_s``,
+    ``gpus``, ``max_memory_gb``, ``cost_usd_per_epoch``) keep the smallest
+    value per ``x``; ``jobs_per_hour`` keeps the largest.
+
+    Example:
+        >>> from repro.analysis.pareto import frontier_series
+        >>> from repro.tune import TuneSpace, tune
+        >>> result = tune(TuneSpace(strategies=("TR",), batch_sizes=(128,),
+        ...                         gpu_counts=(2, 4)),
+        ...               driver="exhaustive", budget=2, simulated_steps=4)
+        >>> sorted(frontier_series(result).keys())
+        [2, 4]
+    """
+    maximise = y in MAXIMISED_AXES
+    series: Dict[float, float] = {}
+    for point in frontier_points(result):
+        if x not in point or y not in point:
+            raise ConfigurationError(
+                f"unknown frontier axis {x!r}/{y!r}; available: {sorted(point)}"
+            )
+        key, value = point[x], point[y]
+        if value is None or key is None:
+            continue
+        if key not in series or (value > series[key] if maximise else value < series[key]):
+            series[key] = value
+    return series
+
+
+def hypervolume_2d(
+    result: ResultLike,
+    x: str = "gpus",
+    y: str = "epoch_time_s",
+    reference: Tuple[float, float] = None,
+) -> float:
+    """Dominated area of the 2-D frontier projection, up to a reference point.
+
+    Both axes are minimised; the reference defaults to (max_x, max_y) over
+    the frontier, so a larger hypervolume means a frontier that pushes
+    further toward the origin.  A single-point frontier has volume 0 under
+    the default reference.
+    """
+    series = sorted(frontier_series(result, x=x, y=y).items())
+    if not series:
+        return 0.0
+    if reference is None:
+        reference = (max(k for k, _ in series), max(v for _, v in series))
+    ref_x, ref_y = reference
+    volume = 0.0
+    best_y = float("inf")
+    for key, value in series:
+        if key > ref_x:
+            break
+        best_y = min(best_y, value)
+        next_keys = [k for k, _ in series if k > key]
+        upper = min(next_keys + [ref_x])
+        if best_y < ref_y:
+            volume += (upper - key) * (ref_y - best_y)
+    return volume
+
+
+def format_frontier_table(result: ResultLike) -> str:
+    """Fixed-width table of the Pareto frontier, fastest candidate first.
+
+    Example:
+        >>> from repro.analysis.pareto import format_frontier_table
+        >>> from repro.tune import TuneSpace, tune
+        >>> result = tune(TuneSpace(strategies=("DP", "TR"), batch_sizes=(128,),
+        ...                         gpu_counts=(2,)),
+        ...               driver="exhaustive", budget=2, simulated_steps=4)
+        >>> print(format_frontier_table(result).splitlines()[0])
+        Pareto frontier (2 evaluated, 1 dominated)
+    """
+    payload = _as_dict(result)
+    rows = []
+    for point in payload["frontier"]:
+        memory = point["max_memory_gb"]
+        jobs = point["jobs_per_hour"]
+        rows.append(
+            [
+                point["label"],
+                f"{point['epoch_time_s']:.2f}s",
+                str(point["gpus"]),
+                f"{memory:.2f}GB" if memory is not None else "-",
+                f"${point['cost_usd_per_epoch']:.4f}",
+                f"{jobs:.1f}/h" if jobs is not None else "-",
+            ]
+        )
+    table = format_table(
+        ["candidate", "epoch", "gpus", "peak mem", "cost/epoch", "throughput"], rows
+    )
+    dominated = len(payload["measurements"]) - len(payload["frontier"])
+    title = (
+        f"Pareto frontier ({len(payload['measurements'])} evaluated, "
+        f"{dominated} dominated)"
+    )
+    return f"{title}\n{table}"
+
+
+def format_tune_summary(result: ResultLike) -> str:
+    """One-paragraph summary: winner, objective score, simulation spend.
+
+    Example:
+        >>> from repro.analysis.pareto import format_tune_summary
+        >>> from repro.tune import TuneSpace, tune
+        >>> result = tune(TuneSpace(strategies=("DP",), batch_sizes=(128,),
+        ...                         gpu_counts=(2,)),
+        ...               driver="exhaustive", budget=1, simulated_steps=4)
+        >>> "winner" in format_tune_summary(result)
+        True
+    """
+    payload = _as_dict(result)
+    best = payload["best"]
+    stats = payload.get("evaluator_stats", {})
+    lines = [
+        f"objective     : {payload['objective']['name']} ({payload['objective']['sense']})",
+        f"driver        : {payload['driver']} (budget {payload['budget']})",
+        f"winner        : {best['label']}",
+        f"  epoch time  : {best['epoch_time_s']:.2f}s",
+        f"  cost/epoch  : ${best['cost_usd_per_epoch']:.4f}",
+        f"simulations   : {stats.get('simulations', '?')} "
+        f"(grid size {payload['space'].get('size', '?')})",
+        f"frontier size : {len(payload['frontier'])}",
+    ]
+    return "\n".join(lines)
+
+
+def assert_frontier_consistent(result: ResultLike) -> None:
+    """Raise if any frontier point is dominated by any measurement.
+
+    A guard for hand-edited or externally produced result documents.
+    """
+    payload = _as_dict(result)
+
+    def axes(point: dict) -> Tuple[float, float, float]:
+        return (point["epoch_time_s"], point["gpus"], point["max_memory_gb"] or 0.0)
+
+    for frontier_point in payload["frontier"]:
+        for other in payload["measurements"]:
+            a, b = axes(other), axes(frontier_point)
+            if all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b)):
+                raise ConfigurationError(
+                    f"frontier point {frontier_point['label']!r} is dominated by "
+                    f"{other['label']!r}"
+                )

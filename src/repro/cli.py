@@ -1,16 +1,21 @@
 """``python -m repro`` — command-line front door over the Session/cluster APIs.
 
-Three subcommands mirror the three levels of the system:
+Four subcommands mirror the four levels of the system:
 
 * ``run`` — one (config, strategy) cell on one simulated server,
 * ``sweep`` — a grid over batch sizes / GPU counts / datasets / servers /
   tasks / strategies through :meth:`Session.sweep`,
 * ``cluster`` — a multi-job workload gang-scheduled onto a fleet under one
-  or all placement policies.
+  or all placement policies,
+* ``tune`` — autotune strategy x batch x GPU count x server (and placement
+  policy, for throughput objectives) under a simulation budget, emitting a
+  Pareto frontier.
 
 Every subcommand prints a JSON document to stdout (or ``--out FILE``), so
 the CLI composes with ``jq``/notebooks the same way the benchmark JSON
-artifacts do.
+artifacts do.  ``--version`` prints the library version and exits.
+
+Documented in ``docs/TUNING.md`` (tune) and the README (run/sweep/cluster).
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.core.config import (
 )
 from repro.core.session import Session
 from repro.errors import ReproError
+from repro.version import __version__
 
 
 def _int_list(text: str) -> List[int]:
@@ -141,6 +147,49 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.analysis.pareto import format_frontier_table, format_tune_summary
+    from repro.tune.objective import MinCostUnderDeadline
+    from repro.tune.space import TuneSpace, default_space
+    from repro.tune.tuner import tune
+
+    base = default_space()
+    clusters = (cluster_from_shorthand(args.nodes),) if args.nodes else ()
+    space = TuneSpace(
+        strategies=tuple(_str_list(args.strategies)) if args.strategies else base.strategies,
+        batch_sizes=tuple(_int_list(args.batch_sizes)) if args.batch_sizes else base.batch_sizes,
+        gpu_counts=tuple(_int_list(args.gpu_counts)) if args.gpu_counts else base.gpu_counts,
+        servers=tuple(_str_list(args.servers)) if args.servers else base.servers,
+        tasks=tuple(_str_list(args.tasks)) if args.tasks else base.tasks,
+        datasets=tuple(_str_list(args.datasets)) if args.datasets else base.datasets,
+        policies=tuple(_str_list(args.policies)) if args.policies else (),
+        clusters=clusters,
+    )
+    if args.deadline is not None and args.objective != "cost":
+        raise ReproError(
+            f"--deadline only applies to the 'cost' objective, not "
+            f"{args.objective!r}; drop the flag or use --objective cost"
+        )
+    objective = (
+        MinCostUnderDeadline(deadline=args.deadline)
+        if args.deadline is not None
+        else args.objective
+    )
+    result = tune(
+        space,
+        objective=objective,
+        driver=args.driver,
+        budget=args.budget,
+        seed=args.seed,
+        simulated_steps=args.steps,
+    )
+    if args.table:
+        print(format_tune_summary(result), file=sys.stderr)
+        print(format_frontier_table(result), file=sys.stderr)
+    _emit(result.to_dict(), args.out)
+    return 0
+
+
 # ---------------------------------------------------------------------- #
 # Parser
 # ---------------------------------------------------------------------- #
@@ -148,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Pipe-BD reproduction: run cells, sweep grids, simulate fleets.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the library version and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -205,6 +260,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_parser.add_argument("--out", help="write JSON to this file instead of stdout")
     cluster_parser.set_defaults(handler=_cmd_cluster)
+
+    from repro.tune.drivers import DRIVERS
+    from repro.tune.objective import OBJECTIVES
+
+    tune_parser = subparsers.add_parser(
+        "tune", help="autotune strategy/batch/GPU/server under a simulation budget"
+    )
+    tune_parser.add_argument(
+        "--objective",
+        default="epoch_time",
+        choices=OBJECTIVES.names(),
+        help="what to optimise",
+    )
+    tune_parser.add_argument(
+        "--driver",
+        default="successive-halving",
+        choices=DRIVERS.names(),
+        help="search driver",
+    )
+    tune_parser.add_argument(
+        "--budget", type=int, default=64, help="max discrete-event simulations"
+    )
+    tune_parser.add_argument("--seed", type=int, default=0)
+    tune_parser.add_argument("--steps", type=int, default=10, help="full-fidelity steps")
+    tune_parser.add_argument("--strategies", help="comma list, e.g. DP,TR+DPU+AHD")
+    tune_parser.add_argument("--batch-sizes", help="comma list, e.g. 128,256,512")
+    tune_parser.add_argument("--gpu-counts", help="comma list, e.g. 2,4")
+    tune_parser.add_argument("--servers", help="comma list, e.g. a6000,2080ti")
+    tune_parser.add_argument("--tasks", help="comma list")
+    tune_parser.add_argument("--datasets", help="comma list")
+    tune_parser.add_argument(
+        "--policies",
+        help="comma list of placement policies (required for jobs_per_hour)",
+    )
+    tune_parser.add_argument(
+        "--nodes", help="cluster shorthand for throughput probes, e.g. a6000:4,2080ti:4"
+    )
+    tune_parser.add_argument(
+        "--deadline",
+        type=float,
+        help="epoch-time deadline in seconds (cost objective only)",
+    )
+    tune_parser.add_argument(
+        "--table", action="store_true", help="also print the frontier table to stderr"
+    )
+    tune_parser.add_argument("--out", help="write JSON to this file instead of stdout")
+    tune_parser.set_defaults(handler=_cmd_tune)
 
     return parser
 

@@ -7,6 +7,8 @@ deterministic multi-job workload generation and trace replay
 (:mod:`~repro.cluster.scheduler`) and the event-driven fleet simulator
 (:mod:`~repro.cluster.simulator`).  Fleet-level analytics live in
 :mod:`repro.analysis.cluster_report`.
+
+Documented in ``docs/API.md`` (cluster layer) and ``docs/ARCHITECTURE.md``.
 """
 
 from repro.cluster.spec import (

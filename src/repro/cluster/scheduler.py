@@ -18,6 +18,9 @@ can use it by name.  Three built-ins cover the classic trade-offs:
   fewest GPUs stranded; trades head-of-line fairness for packing.
 * ``"sjf"`` — shortest job first by profile-estimated service time, placed
   first-fit; minimises mean wait at the cost of starving long jobs.
+
+Documented in ``docs/API.md`` (cluster layer) and ``docs/ARCHITECTURE.md``
+(the registries).
 """
 
 from __future__ import annotations
@@ -32,7 +35,13 @@ from repro.registry import NamedRegistry, make_register
 
 @dataclass(frozen=True)
 class Placement:
-    """One placement decision: start ``job_id``'s gang on ``node`` now."""
+    """One placement decision: start ``job_id``'s gang on ``node`` now.
+
+    Example:
+        >>> from repro.cluster.scheduler import Placement
+        >>> Placement(job_id="job-0001", node="a6000-0").node
+        'a6000-0'
+    """
 
     job_id: str
     node: str
@@ -87,7 +96,16 @@ register_policy = make_register(POLICIES)
 # Placement helpers
 # ---------------------------------------------------------------------- #
 def first_fit_node(job: JobSpec, free_gpus: Mapping[str, int]) -> Optional[str]:
-    """First node (cluster order) with enough free GPUs for the gang."""
+    """First node (cluster order) with enough free GPUs for the gang.
+
+    Example:
+        >>> from repro.cluster.scheduler import first_fit_node
+        >>> from repro.cluster.workload import JobSpec
+        >>> job = JobSpec(job_id="j0", arrival_time=0.0, gpus=4,
+        ...               simulated_steps=4)
+        >>> first_fit_node(job, {"small": 2, "big": 4})
+        'big'
+    """
     for node, free in free_gpus.items():
         if free >= job.gpus:
             return node
@@ -95,7 +113,16 @@ def first_fit_node(job: JobSpec, free_gpus: Mapping[str, int]) -> Optional[str]:
 
 
 def best_fit_node(job: JobSpec, free_gpus: Mapping[str, int]) -> Optional[str]:
-    """Fitting node leaving the fewest GPUs stranded (ties: cluster order)."""
+    """Fitting node leaving the fewest GPUs stranded (ties: cluster order).
+
+    Example:
+        >>> from repro.cluster.scheduler import best_fit_node
+        >>> from repro.cluster.workload import JobSpec
+        >>> job = JobSpec(job_id="j0", arrival_time=0.0, gpus=2,
+        ...               simulated_steps=4)
+        >>> best_fit_node(job, {"roomy": 4, "snug": 2})
+        'snug'
+    """
     best: Optional[str] = None
     best_leftover: Optional[int] = None
     for node, free in free_gpus.items():

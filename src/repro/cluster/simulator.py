@@ -16,6 +16,9 @@ make thousand-job fleets cheap:
 Determinism: workloads are seeded, the event loop breaks ties by insertion
 order, and policies see nodes in cluster order — the same workload under the
 same policy always produces a bit-identical :class:`ClusterReport`.
+
+Documented in ``docs/API.md`` (cluster layer) and ``docs/ARCHITECTURE.md``
+(data flow).
 """
 
 from __future__ import annotations
@@ -36,7 +39,17 @@ EpochKey = Tuple[Tuple[str, str, str, int, int], str, int]
 
 
 class ClusterSimulator:
-    """Event-driven gang scheduler over a fleet of simulated servers."""
+    """Event-driven gang scheduler over a fleet of simulated servers.
+
+    Example:
+        >>> from repro.cluster.simulator import ClusterSimulator
+        >>> from repro.cluster.spec import default_cluster
+        >>> from repro.cluster.workload import poisson_workload
+        >>> simulator = ClusterSimulator(default_cluster(), policy="fifo")
+        >>> report = simulator.run(poisson_workload(num_jobs=6, rate=0.5))
+        >>> (report.num_jobs, report.makespan > 0)
+        (6, True)
+    """
 
     def __init__(
         self,
@@ -207,6 +220,15 @@ def run_policy_comparison(
     per-policy simulators, so the second and third policies replay the
     fleet with zero additional profile builds and zero additional
     discrete-event simulations.
+
+    Example:
+        >>> from repro.cluster.simulator import run_policy_comparison
+        >>> from repro.cluster.spec import default_cluster
+        >>> from repro.cluster.workload import poisson_workload
+        >>> workload = poisson_workload(num_jobs=6, rate=0.5)
+        >>> reports = run_policy_comparison(default_cluster(), workload)
+        >>> sorted(reports)
+        ['best-fit', 'fifo', 'sjf']
     """
     shared = session if session is not None else Session()
     epoch_times: Dict[EpochKey, float] = {}

@@ -7,6 +7,8 @@ layer never re-models hardware — when a job lands on a node, the simulator
 materialises the node as a plain :class:`~repro.hardware.server.ServerSpec`
 sized to the job's gang, so every per-node timing comes from the same cost
 models the single-server reproduction already validates.
+
+Documented in ``docs/API.md`` (cluster layer) and ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
@@ -21,7 +23,14 @@ from repro.hardware.server import ServerSpec, get_server
 
 @dataclass(frozen=True)
 class NodeSpec:
-    """One machine of the fleet: a named instance of a server preset."""
+    """One machine of the fleet: a named instance of a server preset.
+
+    Example:
+        >>> from repro.cluster.spec import NodeSpec
+        >>> node = NodeSpec(name="a6000-0", server="a6000", num_gpus=4)
+        >>> node.build_server(num_gpus=2).num_devices
+        2
+    """
 
     name: str
     server: str = "a6000"
@@ -65,7 +74,14 @@ class NodeSpec:
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """An ordered fleet of nodes jobs are gang-scheduled onto."""
+    """An ordered fleet of nodes jobs are gang-scheduled onto.
+
+    Example:
+        >>> from repro.cluster.spec import cluster_from_shorthand
+        >>> fleet = cluster_from_shorthand("a6000:4,2080ti:2")
+        >>> (fleet.num_nodes, fleet.total_gpus, fleet.max_gpus_per_node)
+        (2, 6, 4)
+    """
 
     name: str
     nodes: Tuple[NodeSpec, ...]
@@ -130,7 +146,13 @@ class ClusterSpec:
 def default_cluster(
     num_a6000: int = 2, num_2080ti: int = 2, gpus_per_node: int = 4
 ) -> ClusterSpec:
-    """A small heterogeneous fleet mixing both of the paper's server types."""
+    """A small heterogeneous fleet mixing both of the paper's server types.
+
+    Example:
+        >>> from repro.cluster.spec import default_cluster
+        >>> default_cluster().node_gpus()
+        {'a6000-0': 4, 'a6000-1': 4, '2080ti-0': 4, '2080ti-1': 4}
+    """
     if num_a6000 + num_2080ti < 1:
         raise ConfigurationError("cluster needs at least one node")
     nodes = []
@@ -148,6 +170,11 @@ def cluster_from_shorthand(spec: str, name: str = "cluster") -> ClusterSpec:
 
     Each comma-separated entry is ``<preset>[:<num_gpus>]`` (GPU count
     defaults to 4).  Node names are generated as ``<preset>-<ordinal>``.
+
+    Example:
+        >>> from repro.cluster.spec import cluster_from_shorthand
+        >>> [node.name for node in cluster_from_shorthand("a6000:4,a6000:2")]
+        ['a6000-0', 'a6000-1']
     """
     entries = [entry.strip() for entry in spec.split(",") if entry.strip()]
     if not entries:

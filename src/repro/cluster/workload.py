@@ -15,6 +15,8 @@ Workloads come from three sources, all deterministic:
   hardest case for gang scheduling, since a burst's gangs contend at once),
 * :meth:`Workload.load` — JSON trace replay, so real or hand-crafted traces
   run through the exact same simulator path as generated ones.
+
+Documented in ``docs/API.md`` (cluster layer).
 """
 
 from __future__ import annotations
@@ -32,7 +34,15 @@ from repro.parallel.registry import REGISTRY
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One distillation job in a cluster workload."""
+    """One distillation job in a cluster workload.
+
+    Example:
+        >>> from repro.cluster.workload import JobSpec
+        >>> job = JobSpec(job_id="j0", arrival_time=0.0, gpus=2,
+        ...               batch_size=128, strategy="TR", simulated_steps=4)
+        >>> job.experiment_config("a6000").cell_label()
+        'nas/cifar10/a6000x2/b128'
+    """
 
     job_id: str
     arrival_time: float
@@ -128,7 +138,15 @@ class JobSpec:
 
 @dataclass(frozen=True)
 class JobMix:
-    """The categorical mix a workload generator samples jobs from."""
+    """The categorical mix a workload generator samples jobs from.
+
+    Example:
+        >>> import random
+        >>> from repro.cluster.workload import JobMix
+        >>> mix = JobMix(gpu_demands=(2,), strategies=("TR",))
+        >>> mix.sample(random.Random(0), "j0", 1.0).strategy
+        'TR'
+    """
 
     tasks: Tuple[str, ...] = ("nas", "compression")
     datasets: Tuple[str, ...] = ("cifar10",)
@@ -169,7 +187,14 @@ DEFAULT_MIX = JobMix()
 
 @dataclass(frozen=True)
 class Workload:
-    """An arrival-ordered stream of jobs submitted to the cluster."""
+    """An arrival-ordered stream of jobs submitted to the cluster.
+
+    Example:
+        >>> from repro.cluster.workload import poisson_workload
+        >>> workload = poisson_workload(num_jobs=5, rate=1.0, seed=0)
+        >>> (len(workload), workload.max_gpu_demand <= 4)
+        (5, True)
+    """
 
     name: str
     jobs: Tuple[JobSpec, ...]
@@ -258,7 +283,15 @@ def poisson_workload(
     mix: JobMix = DEFAULT_MIX,
     name: str | None = None,
 ) -> Workload:
-    """Poisson arrivals: exponential inter-arrival gaps at ``rate`` jobs/sec."""
+    """Poisson arrivals: exponential inter-arrival gaps at ``rate`` jobs/sec.
+
+    Example:
+        >>> from repro.cluster.workload import poisson_workload
+        >>> first = poisson_workload(num_jobs=3, rate=0.5, seed=1)
+        >>> second = poisson_workload(num_jobs=3, rate=0.5, seed=1)
+        >>> first == second  # seeded, deterministic
+        True
+    """
     if num_jobs < 1:
         raise ConfigurationError("num_jobs must be >= 1")
     if rate <= 0:
@@ -289,6 +322,13 @@ def bursty_workload(
     gang scheduling, because every gang in the burst contends for the fleet
     simultaneously.  Lulls between bursts are exponential with mean
     ``burst_gap`` seconds.
+
+    Example:
+        >>> from repro.cluster.workload import bursty_workload
+        >>> workload = bursty_workload(num_jobs=6, burst_size=3, seed=0)
+        >>> arrivals = [job.arrival_time for job in workload]
+        >>> len(set(arrivals))  # two bursts -> two distinct instants
+        2
     """
     if num_jobs < 1:
         raise ConfigurationError("num_jobs must be >= 1")
@@ -326,7 +366,13 @@ def arrival_process(
     seed: int = 0,
     mix: JobMix = DEFAULT_MIX,
 ) -> Workload:
-    """Build a workload by arrival-process name (``"poisson"`` / ``"bursty"``)."""
+    """Build a workload by arrival-process name (``"poisson"`` / ``"bursty"``).
+
+    Example:
+        >>> from repro.cluster.workload import arrival_process
+        >>> len(arrival_process("bursty", 4, burst_size=2, seed=0))
+        4
+    """
     if kind == "poisson":
         return poisson_workload(num_jobs, rate=rate, seed=seed, mix=mix)
     if kind == "bursty":

@@ -20,9 +20,15 @@ On top of the caches it exposes the whole public workflow:
   datasets / servers / tasks, returning a typed :class:`SweepResult` with
   speedup tables, best-cell selection and JSON export.  Independent cells
   can execute on a thread pool (``parallel=True``).
+* :meth:`Session.tune` — autotuning: search a
+  :class:`~repro.tune.space.TuneSpace` for the best candidate under an
+  objective, reusing this session's caches across refinement rounds.
 
 ``run_experiment`` / ``run_ablation`` in :mod:`repro.core.runner` remain as
 thin shims over a process-wide default session.
+
+Documented in ``docs/API.md`` (reference) and ``docs/ARCHITECTURE.md``
+(where the session sits in the layer map).
 """
 
 from __future__ import annotations
@@ -52,7 +58,15 @@ ExecutorKey = Tuple[str, str, str, int, int]
 
 @dataclass
 class ExperimentSuiteResult:
-    """Results of running several strategies on the same experiment cell."""
+    """Results of running several strategies on the same experiment cell.
+
+    Example:
+        >>> from repro import ExperimentConfig, Session
+        >>> config = ExperimentConfig(batch_size=128, simulated_steps=4)
+        >>> suite = Session().ablation(config, strategies=("DP", "TR"))
+        >>> suite.speedups("DP")["TR"] > 1.0
+        True
+    """
 
     config: ExperimentConfig
     results: Dict[str, ExecutionResult] = field(default_factory=dict)
@@ -96,7 +110,16 @@ class ExperimentSuiteResult:
 
 @dataclass
 class SessionStats:
-    """Cache-activity counters, primarily for tests and capacity planning."""
+    """Cache-activity counters, primarily for tests and capacity planning.
+
+    Example:
+        >>> from repro import ExperimentConfig, Session
+        >>> session = Session()
+        >>> for _ in range(2):
+        ...     _ = session.run(ExperimentConfig(batch_size=128, simulated_steps=4))
+        >>> (session.stats.profile_builds, session.stats.profile_hits)
+        (1, 1)
+    """
 
     pair_builds: int = 0
     pair_hits: int = 0
@@ -114,7 +137,13 @@ class SessionStats:
     CACHES = ("pair", "server", "dataset", "executor", "profile")
 
     def hit_rate(self, cache: str) -> float:
-        """Hit fraction for one cache (``"pair"``, ``"profile"``, ...)."""
+        """Hit fraction for one cache (``"pair"``, ``"profile"``, ...).
+
+        Example:
+            >>> from repro.core.session import SessionStats
+            >>> SessionStats(profile_builds=1, profile_hits=3).hit_rate("profile")
+            0.75
+        """
         if cache not in self.CACHES:
             raise ConfigurationError(
                 f"unknown cache {cache!r}; known caches: {self.CACHES}"
@@ -134,6 +163,14 @@ class SweepResult:
 
     ``cells`` holds one :class:`ExperimentSuiteResult` per grid point, in
     grid-iteration order; ``strategies`` is the strategy set every cell ran.
+
+    Example:
+        >>> from repro import ExperimentConfig, Session
+        >>> base = ExperimentConfig(batch_size=128, simulated_steps=4)
+        >>> sweep = Session().sweep(base, batch_sizes=(128, 256),
+        ...                         strategies=("DP", "TR"))
+        >>> (len(sweep), sorted(sweep.axes))
+        (2, ['batch_size'])
     """
 
     base_config: ExperimentConfig
@@ -237,6 +274,14 @@ class Session:
     caches only ever hold deterministic, immutable artefacts, so sharing one
     session across sweeps (or threads, via ``sweep(parallel=True)``) returns
     bit-identical results to the stateless runners.
+
+    Example:
+        >>> from repro import ExperimentConfig, Session
+        >>> session = Session()
+        >>> result = session.run(ExperimentConfig(batch_size=128,
+        ...                                       simulated_steps=4))
+        >>> result.epoch_time > 0
+        True
     """
 
     def __init__(self) -> None:
@@ -336,6 +381,12 @@ class Session:
 
         ``strategy`` overrides ``config.strategy``; ``profile`` overrides the
         session's cached profile table (it is not cached back).
+
+        Example:
+            >>> from repro import ExperimentConfig, Session
+            >>> config = ExperimentConfig(batch_size=128, simulated_steps=4)
+            >>> Session().run(config, strategy="DP").strategy
+            'DP'
         """
         name = strategy if strategy is not None else config.strategy
         planner = REGISTRY.get(name)
@@ -363,6 +414,13 @@ class Session:
         The profile table is computed once and shared by every strategy,
         exactly as Pipe-BD's one-off profiling pass is shared by its
         scheduling decisions.
+
+        Example:
+            >>> from repro import ExperimentConfig, Session
+            >>> config = ExperimentConfig(batch_size=128, simulated_steps=4)
+            >>> suite = Session().ablation(config, strategies=("DP", "LS"))
+            >>> sorted(suite.results)
+            ['DP', 'LS']
         """
         strategies = tuple(strategies)
         for strategy in strategies:
@@ -396,6 +454,14 @@ class Session:
         session caches stay consistent (and each profile table is still
         built exactly once) because cache fills are serialised by prewarming
         before the pool starts.
+
+        Example:
+            >>> from repro import ExperimentConfig, Session
+            >>> base = ExperimentConfig(batch_size=128, simulated_steps=4)
+            >>> sweep = Session().sweep(base, num_gpus=(2, 4),
+            ...                         strategies=("TR",))
+            >>> len(sweep.cells)
+            2
         """
         def axis(name: str, values: Optional[Sequence]) -> Tuple:
             if values is None:
@@ -448,6 +514,51 @@ class Session:
             strategies=strategy_set,
             cells=cells,
             axes={name: values for name, values in axes.items() if len(values) > 1},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Autotuning
+    # ------------------------------------------------------------------ #
+    def tune(
+        self,
+        space=None,
+        *,
+        objective="epoch_time",
+        driver="successive-halving",
+        budget: int = 64,
+        seed: int = 0,
+        simulated_steps: int = 10,
+        throughput_jobs: int = 12,
+    ):
+        """Search a tuning space for the best candidate under an objective.
+
+        Thin delegate to :func:`repro.tune.tuner.tune` bound to this
+        session, so tuning shares every cache (pairs, profiles, executors)
+        with prior runs and sweeps — refinement rounds only re-simulate
+        changed cells.  See ``docs/TUNING.md`` for the full guide.
+
+        Example:
+            >>> from repro import Session
+            >>> from repro.tune import TuneSpace
+            >>> session = Session()
+            >>> result = session.tune(
+            ...     TuneSpace(strategies=("DP", "TR+DPU+AHD"),
+            ...               batch_sizes=(128, 256), gpu_counts=(2,)),
+            ...     budget=4, simulated_steps=4)
+            >>> result.best.point.strategy
+            'TR+DPU+AHD'
+        """
+        from repro.tune.tuner import tune as run_tune
+
+        return run_tune(
+            space,
+            objective=objective,
+            driver=driver,
+            budget=budget,
+            seed=seed,
+            session=self,
+            simulated_steps=simulated_steps,
+            throughput_jobs=throughput_jobs,
         )
 
 

@@ -22,6 +22,9 @@ without editing core code:
 Registration order is preserved; the built-in strategies register below in
 the order the paper plots them, so ``registry.names()`` starts with
 ``("DP", "LS", "TR", "TR+DPU", "TR+IR", "TR+DPU+AHD")``.
+
+Documented in ``docs/API.md`` (strategy registry) and ``docs/ARCHITECTURE.md``
+(the registries).
 """
 
 from __future__ import annotations
@@ -68,7 +71,15 @@ class Strategy(Protocol):
 
 
 class StrategyRegistry(NamedRegistry[Strategy]):
-    """Ordered name -> :class:`Strategy` mapping with validated registration."""
+    """Ordered name -> :class:`Strategy` mapping with validated registration.
+
+    Example:
+        >>> from repro.parallel.registry import REGISTRY
+        >>> REGISTRY.get("DP").requires_profile
+        False
+        >>> "TR+DPU+AHD" in REGISTRY
+        True
+    """
 
     kind = "strategy"
     kind_plural = "strategies"
@@ -82,6 +93,13 @@ class StrategyRegistry(NamedRegistry[Strategy]):
             raise ConfigurationError(f"strategy {name!r} must expose a callable 'build'")
 
     def requires_profile(self, name: str) -> bool:
+        """Whether a strategy's :meth:`~Strategy.build` needs a profile table.
+
+        Example:
+            >>> from repro.parallel.registry import REGISTRY
+            >>> REGISTRY.requires_profile("LS")
+            True
+        """
         return self.get(name).requires_profile
 
 

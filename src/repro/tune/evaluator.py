@@ -1,0 +1,310 @@
+"""The incremental evaluator: analytic estimates and memoised simulations.
+
+Covered by ``docs/TUNING.md`` (fidelity model) and ``docs/API.md``.
+
+A :class:`TuneEvaluator` wraps one :class:`~repro.core.session.Session` and
+offers three fidelities, each cheaper than the last thanks to two layers of
+reuse:
+
+* :meth:`estimate` — an *analytic* epoch-time estimate that never runs the
+  discrete-event simulator.  Pipeline plans are scored with the profile-backed
+  :class:`~repro.parallel.estimator.StageTimeEstimator` (max stage time, as in
+  the paper's AHD search); layerwise and data-parallel plans with the same
+  cost-model sums the executor uses for task durations.  Profiles come from
+  the session cache, so one profile serves every strategy of a cell.
+* :meth:`measure` — a full discrete-event simulation via ``Session.run``,
+  memoised by ``(cell, strategy, steps)`` so refinement rounds only
+  re-simulate changed cells.
+* :meth:`throughput` — a fleet probe for ``jobs_per_hour`` objectives: a
+  batch of identical jobs gang-scheduled by a
+  :class:`~repro.cluster.simulator.ClusterSimulator` whose epoch-time memo is
+  shared across *all* probes of a search, so policies replay the fleet
+  without new discrete-event simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.simulator import ClusterSimulator, EpochKey
+from repro.cluster.spec import ClusterSpec, default_cluster
+from repro.cluster.workload import JobSpec, Workload
+from repro.core.config import ExperimentConfig
+from repro.core.session import Session
+from repro.data.loader import DataLoadModel
+from repro.errors import ConfigurationError
+from repro.models.layers import BYTES_PER_ELEMENT
+from repro.parallel.estimator import StageTimeEstimator
+from repro.parallel.plan import SchedulePlan
+from repro.parallel.registry import REGISTRY
+from repro.tune.objective import TuneMeasurement, cost_per_epoch
+from repro.tune.space import TunePoint
+
+
+@dataclass
+class EvaluatorStats:
+    """Work counters: how much each fidelity ran vs. hit a memo.
+
+    Example:
+        >>> from repro.tune.evaluator import EvaluatorStats
+        >>> stats = EvaluatorStats(simulations=3, simulation_hits=9)
+        >>> stats.to_dict()["simulations"]
+        3
+    """
+
+    estimates: int = 0
+    estimate_hits: int = 0
+    simulations: int = 0
+    simulation_hits: int = 0
+    cluster_probes: int = 0
+    cluster_probe_hits: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class TuneEvaluator:
+    """Session-backed candidate evaluation at three fidelities.
+
+    Example:
+        >>> from repro.tune.evaluator import TuneEvaluator
+        >>> from repro.tune.space import TunePoint
+        >>> point = TunePoint(task="nas", dataset="cifar10", server="a6000",
+        ...                   num_gpus=2, batch_size=128, strategy="DP")
+        >>> evaluator = TuneEvaluator(simulated_steps=4)
+        >>> estimate = evaluator.estimate(point)
+        >>> full = evaluator.measure(point)
+        >>> (estimate.fidelity, full.fidelity, full.epoch_time > 0)
+        ('estimate', 'simulated', True)
+    """
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        simulated_steps: int = 10,
+        throughput_jobs: int = 12,
+    ) -> None:
+        if simulated_steps < 4:
+            raise ConfigurationError("simulated_steps must be >= 4")
+        if throughput_jobs < 1:
+            raise ConfigurationError("throughput_jobs must be >= 1")
+        self.session = session if session is not None else Session()
+        self.simulated_steps = simulated_steps
+        self.throughput_jobs = throughput_jobs
+        self.stats = EvaluatorStats()
+        self._estimates: Dict[Tuple, TuneMeasurement] = {}
+        self._measurements: Dict[Tuple, TuneMeasurement] = {}
+        self._throughputs: Dict[Tuple, float] = {}
+        #: Epoch-time memo shared by every fleet probe of this evaluator.
+        self._cluster_epoch_times: Dict[EpochKey, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Fidelity 0: analytic estimate (no discrete-event simulation)
+    # ------------------------------------------------------------------ #
+    def estimate(self, point: TunePoint) -> TuneMeasurement:
+        """Analytic epoch-time estimate; builds the plan but never simulates."""
+        key = point.cell_signature()
+        if key in self._estimates:
+            self.stats.estimate_hits += 1
+            return replace(self._estimates[key], point=point)
+        config = point.config(self.simulated_steps)
+        session = self.session
+        pair = session.pair(config)
+        server = session.server(config)
+        dataset = session.dataset(config)
+        planner = REGISTRY.get(point.strategy)
+        profile = session.profile(config) if planner.requires_profile else None
+        plan = planner.build(pair, server, config.batch_size, dataset, profile=profile)
+
+        if plan.kind == "pipeline":
+            if profile is None:
+                profile = session.profile(config)
+            estimator = StageTimeEstimator(pair, server, dataset, profile)
+            step_time = self._pipeline_step_time(plan, estimator)
+        elif plan.kind == "layerwise":
+            step_time = self._layerwise_step_time(plan, config)
+        else:
+            step_time = self._data_parallel_step_time(plan, config)
+
+        epoch_time = step_time * dataset.steps_per_epoch(config.batch_size)
+        measurement = TuneMeasurement(
+            point=point,
+            epoch_time=epoch_time,
+            cost=cost_per_epoch(point.server, point.num_gpus, epoch_time),
+            fidelity="estimate",
+            simulated_steps=0,
+        )
+        self._estimates[key] = measurement
+        self.stats.estimates += 1
+        return measurement
+
+    @staticmethod
+    def _pipeline_step_time(plan: SchedulePlan, estimator: StageTimeEstimator) -> float:
+        """Steady-state step time of a pipeline plan.
+
+        Decoupled plans (DPU) run stages independently, so throughput is set
+        by the slowest stage (paper SIV-C).  Plans that keep the per-step
+        barrier (plain TR) serialise on the teacher-relay chain instead: a
+        stage cannot start its step before every earlier stage's teacher has
+        run, so its finish time is the teacher prefix plus its own student
+        work, and the step time is the slowest such finish.
+        """
+        estimates = estimator.stage_estimates(plan)
+        if plan.decoupled_update:
+            return max(estimate.total for estimate in estimates)
+        critical = 0.0
+        teacher_prefix = 0.0
+        for estimate in estimates:
+            teacher_prefix += estimate.teacher
+            critical = max(
+                critical,
+                teacher_prefix + estimate.student + estimate.update + estimate.allreduce,
+            )
+        overlapped = max(
+            max(estimate.data_load for estimate in estimates),
+            max(estimate.relay for estimate in estimates),
+        )
+        return max(critical, overlapped)
+
+    def _layerwise_step_time(self, plan: SchedulePlan, config: ExperimentConfig) -> float:
+        """Max-device step time of an LS plan (teacher prefix + owned blocks)."""
+        pair = self.session.pair(config)
+        server = self.session.server(config)
+        cost_model = server.cost_model()
+        loader = DataLoadModel(dataset=self.session.dataset(config), host=server.host)
+        batch = plan.batch_size
+        rounds = pair.student_rounds_per_step
+        load_time = loader.batch_load_time(batch, concurrent_loaders=1)
+        assert plan.device_blocks is not None
+        device_times = []
+        for block_ids in plan.device_blocks.values():
+            prefix = range(max(block_ids) + 1)
+            compute = sum(
+                cost_model.block_forward_time(pair.teacher.block(i), batch) for i in prefix
+            )
+            for block_id in block_ids:
+                student = pair.student.block(block_id)
+                compute += rounds * (
+                    cost_model.block_forward_time(student, batch)
+                    + cost_model.block_backward_time(student, batch)
+                )
+                compute += cost_model.weight_update_time(student)
+            device_times.append(max(compute, load_time))
+        return max(device_times)
+
+    def _data_parallel_step_time(self, plan: SchedulePlan, config: ExperimentConfig) -> float:
+        """Summed per-block step time of the DP baseline (blocks run serially)."""
+        pair = self.session.pair(config)
+        server = self.session.server(config)
+        cost_model = server.cost_model()
+        loader = DataLoadModel(dataset=self.session.dataset(config), host=server.host)
+        micro_batch = max(1, plan.batch_size // plan.num_devices)
+        rounds = pair.student_rounds_per_step
+        load_time = loader.batch_load_time(micro_batch, concurrent_loaders=1)
+        total = 0.0
+        teacher_prefix = 0.0
+        for block_id in range(plan.num_blocks):
+            teacher_prefix += cost_model.block_forward_time(
+                pair.teacher.block(block_id), micro_batch
+            )
+            student = pair.student.block(block_id)
+            compute = teacher_prefix
+            compute += rounds * (
+                cost_model.block_forward_time(student, micro_batch)
+                + cost_model.block_backward_time(student, micro_batch)
+            )
+            compute += cost_model.weight_update_time(student)
+            if plan.num_devices > 1:
+                compute += server.interconnect.allreduce_time(
+                    float(student.params * BYTES_PER_ELEMENT), plan.num_devices
+                )
+            total += max(compute, load_time)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Fidelity 1..n: memoised discrete-event simulation
+    # ------------------------------------------------------------------ #
+    def measure(self, point: TunePoint, steps: Optional[int] = None) -> TuneMeasurement:
+        """Run the cell's discrete-event simulation, memoised by fidelity."""
+        steps = self.simulated_steps if steps is None else steps
+        key = point.cell_signature() + (steps,)
+        if key in self._measurements:
+            self.stats.simulation_hits += 1
+            return replace(self._measurements[key], point=point)
+        result = self.session.run(point.config(steps))
+        measurement = TuneMeasurement(
+            point=point,
+            epoch_time=result.epoch_time,
+            cost=cost_per_epoch(point.server, point.num_gpus, result.epoch_time),
+            fidelity="simulated",
+            simulated_steps=steps,
+            max_memory_gb=result.max_memory_gb(),
+        )
+        self._measurements[key] = measurement
+        self.stats.simulations += 1
+        return measurement
+
+    # ------------------------------------------------------------------ #
+    # Fleet probe for throughput objectives
+    # ------------------------------------------------------------------ #
+    def throughput(self, point: TunePoint, steps: Optional[int] = None) -> float:
+        """Jobs/hour of a fleet saturated with this candidate's jobs.
+
+        The probe gang-schedules ``throughput_jobs`` identical copies of the
+        candidate cell (all arriving at t=0) under the point's placement
+        policy, sharing one epoch-time memo across every probe of the search.
+        """
+        if point.policy is None:
+            raise ConfigurationError(
+                f"candidate {point.label()!r} has no placement policy; "
+                "throughput objectives need a space with a policies axis"
+            )
+        steps = self.simulated_steps if steps is None else steps
+        cluster = point.cluster if point.cluster is not None else default_cluster()
+        # Memoise on the spec itself, not its name: two candidate fleets may
+        # share a (default) name yet differ in shape.
+        key = point.cell_signature() + (steps, point.policy, cluster)
+        if key in self._throughputs:
+            self.stats.cluster_probe_hits += 1
+            return self._throughputs[key]
+        jobs = tuple(
+            JobSpec(
+                job_id=f"tune-{index:03d}",
+                arrival_time=0.0,
+                gpus=point.num_gpus,
+                task=point.task,
+                dataset=point.dataset,
+                batch_size=point.batch_size,
+                strategy=point.strategy,
+                epochs=1,
+                simulated_steps=steps,
+            )
+            for index in range(self.throughput_jobs)
+        )
+        workload = Workload(name=f"tune-probe({point.label()})", jobs=jobs)
+        simulator = ClusterSimulator(
+            cluster,
+            policy=point.policy,
+            session=self.session,
+            epoch_time_cache=self._cluster_epoch_times,
+        )
+        report = simulator.run(workload)
+        self._throughputs[key] = report.jobs_per_hour
+        self.stats.cluster_probes += 1
+        return report.jobs_per_hour
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, point: TunePoint, objective, steps: Optional[int] = None) -> TuneMeasurement:
+        """Full-fidelity evaluation for an objective (fleet probe if needed)."""
+        measurement = self.measure(point, steps)
+        if getattr(objective, "needs_cluster", False):
+            measurement = replace(
+                measurement, jobs_per_hour=self.throughput(point, steps)
+            )
+        return measurement
+
+    @property
+    def distinct_simulated_cells(self) -> int:
+        """Distinct (cell, strategy) pairs simulated at any fidelity."""
+        return len({key[:-1] for key in self._measurements})

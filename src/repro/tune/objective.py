@@ -1,0 +1,250 @@
+"""Tuning objectives and the measurement record they score.
+
+Covered by ``docs/TUNING.md`` (objective guide) and ``docs/API.md``.
+
+A :class:`TuneMeasurement` is one evaluated candidate: its simulated epoch
+time, per-rank peak memory, dollar cost per epoch and (for fleet objectives)
+jobs-per-hour throughput, tagged with the fidelity it was obtained at
+(``"estimate"`` for the analytic model, ``"simulated"`` for a discrete-event
+run).  An *objective* scores measurements; three built-ins are registered in
+:data:`OBJECTIVES` (a :class:`~repro.registry.NamedRegistry` mirroring the
+strategy and policy registries):
+
+* ``"epoch_time"`` — minimise simulated seconds per training epoch,
+* ``"jobs_per_hour"`` — maximise fleet throughput under a placement policy,
+* ``"cost"`` — minimise dollars per epoch, optionally under an epoch-time
+  deadline (:class:`MinCostUnderDeadline`).
+
+Objectives expose two rankings: :meth:`key` (lower-is-better, used on full
+simulations) and :meth:`proxy_key` (lower-is-better on cheap estimates —
+fleet throughput falls back to epoch time, which is monotone in it for a
+fixed fleet).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.registry import NamedRegistry, make_register
+from repro.tune.space import TunePoint
+
+#: Cloud-style hourly rates per GPU, used by the cost objective ($ / GPU-hour).
+GPU_HOURLY_RATES: Dict[str, float] = {"a6000": 1.10, "2080ti": 0.35}
+
+
+def cost_per_epoch(server: str, num_gpus: int, epoch_time: float) -> float:
+    """Dollar cost of one training epoch on ``num_gpus`` GPUs of a preset.
+
+    Example:
+        >>> from repro.tune.objective import cost_per_epoch
+        >>> round(cost_per_epoch("a6000", 4, 3600.0), 2)
+        4.4
+    """
+    if server not in GPU_HOURLY_RATES:
+        raise ConfigurationError(
+            f"no hourly rate for server {server!r}; known: {sorted(GPU_HOURLY_RATES)}"
+        )
+    return epoch_time / 3600.0 * num_gpus * GPU_HOURLY_RATES[server]
+
+
+@dataclass(frozen=True)
+class TuneMeasurement:
+    """One evaluated candidate, at estimate or simulation fidelity.
+
+    Example:
+        >>> from repro.tune.objective import TuneMeasurement
+        >>> from repro.tune.space import TunePoint
+        >>> point = TunePoint(task="nas", dataset="cifar10", server="a6000",
+        ...                   num_gpus=4, batch_size=256, strategy="DP")
+        >>> m = TuneMeasurement(point=point, epoch_time=12.5, cost=0.015,
+        ...                     fidelity="simulated", simulated_steps=10)
+        >>> (m.gpus, m.to_dict()["epoch_time_s"])
+        (4, 12.5)
+    """
+
+    point: TunePoint
+    epoch_time: float
+    cost: float
+    fidelity: str
+    simulated_steps: int
+    max_memory_gb: Optional[float] = None
+    jobs_per_hour: Optional[float] = None
+
+    @property
+    def gpus(self) -> int:
+        """GPU count of the candidate (a Pareto axis)."""
+        return self.point.num_gpus
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point.to_dict(),
+            "label": self.point.label(),
+            "epoch_time_s": self.epoch_time,
+            "gpus": self.gpus,
+            "max_memory_gb": self.max_memory_gb,
+            "cost_usd_per_epoch": self.cost,
+            "jobs_per_hour": self.jobs_per_hour,
+            "fidelity": self.fidelity,
+            "simulated_steps": self.simulated_steps,
+        }
+
+
+class ObjectiveRegistry(NamedRegistry):
+    """Ordered name -> objective mapping with validated registration."""
+
+    kind = "objective"
+    kind_plural = "objectives"
+
+    def validate(self, name: str, objective) -> None:
+        if getattr(objective, "sense", None) not in ("min", "max"):
+            raise ConfigurationError(
+                f"objective {name!r} must expose sense 'min' or 'max'"
+            )
+        if not isinstance(getattr(objective, "needs_cluster", None), bool):
+            raise ConfigurationError(
+                f"objective {name!r} must expose a boolean 'needs_cluster'"
+            )
+        for method in ("score", "key", "proxy_key"):
+            if not callable(getattr(objective, method, None)):
+                raise ConfigurationError(
+                    f"objective {name!r} must expose a callable {method!r}"
+                )
+
+
+#: The process-wide objective registry consulted by drivers, CLI and Session.
+OBJECTIVES = ObjectiveRegistry()
+
+#: Register an objective class or instance (usable as a decorator); see
+#: :func:`repro.registry.make_register`.
+register_objective = make_register(OBJECTIVES)
+
+
+@register_objective
+class MinEpochTime:
+    """Minimise simulated seconds per training epoch (the paper's Table II).
+
+    Example:
+        >>> from repro.tune.objective import OBJECTIVES
+        >>> OBJECTIVES.get("epoch_time").sense
+        'min'
+    """
+
+    name = "epoch_time"
+    sense = "min"
+    needs_cluster = False
+
+    def score(self, measurement: TuneMeasurement) -> float:
+        """Natural-units score: seconds per epoch."""
+        return measurement.epoch_time
+
+    def key(self, measurement: TuneMeasurement) -> float:
+        """Lower-is-better ranking key on full simulations."""
+        return measurement.epoch_time
+
+    def proxy_key(self, measurement: TuneMeasurement) -> float:
+        """Lower-is-better ranking key on analytic estimates."""
+        return measurement.epoch_time
+
+
+@register_objective
+class MaxJobsPerHour:
+    """Maximise fleet throughput when every job runs this candidate cell.
+
+    Requires a space with a ``policies`` axis; the evaluator probes each
+    (cell, policy, cluster) by gang-scheduling a batch of identical jobs.
+
+    Example:
+        >>> from repro.tune.objective import OBJECTIVES
+        >>> OBJECTIVES.get("jobs_per_hour").needs_cluster
+        True
+    """
+
+    name = "jobs_per_hour"
+    sense = "max"
+    needs_cluster = True
+
+    def score(self, measurement: TuneMeasurement) -> float:
+        """Natural-units score: completed jobs per hour."""
+        return measurement.jobs_per_hour or 0.0
+
+    def key(self, measurement: TuneMeasurement) -> float:
+        """Lower-is-better key (negated throughput)."""
+        return -(measurement.jobs_per_hour or 0.0)
+
+    def proxy_key(self, measurement: TuneMeasurement) -> float:
+        """Packing-aware throughput proxy for fidelities without a fleet probe.
+
+        Epoch time alone is anti-correlated with throughput across gang
+        sizes (two 2-GPU gangs outpack one 4-GPU gang even if each is
+        slower), so the proxy multiplies the candidate's epoch rate by how
+        many of its gangs the fleet holds at once.
+        """
+        if measurement.jobs_per_hour is not None:
+            return self.key(measurement)
+        point = measurement.point
+        if point.cluster is not None:
+            slots = sum(
+                node.num_gpus // point.num_gpus for node in point.cluster.nodes
+            )
+        else:
+            slots = 1
+        return -(max(slots, 1) * 3600.0 / measurement.epoch_time)
+
+
+@register_objective
+class MinCostUnderDeadline:
+    """Minimise dollars per epoch, subject to an epoch-time deadline.
+
+    Candidates whose epoch time exceeds ``deadline`` seconds score
+    ``inf`` and can never win (the registered default has no deadline).
+
+    Example:
+        >>> from repro.tune.objective import MinCostUnderDeadline, TuneMeasurement
+        >>> from repro.tune.space import TunePoint
+        >>> point = TunePoint(task="nas", dataset="cifar10", server="a6000",
+        ...                   num_gpus=2, batch_size=128, strategy="DP")
+        >>> slow = TuneMeasurement(point=point, epoch_time=90.0, cost=0.05,
+        ...                        fidelity="simulated", simulated_steps=10)
+        >>> MinCostUnderDeadline(deadline=60.0).key(slow)
+        inf
+    """
+
+    name = "cost"
+    sense = "min"
+    needs_cluster = False
+
+    def __init__(self, deadline: float = math.inf) -> None:
+        if deadline <= 0:
+            raise ConfigurationError("deadline must be > 0 seconds")
+        self.deadline = deadline
+
+    def score(self, measurement: TuneMeasurement) -> float:
+        """Natural-units score: dollars per epoch."""
+        return measurement.cost
+
+    def key(self, measurement: TuneMeasurement) -> float:
+        """Lower-is-better key; deadline violations rank last."""
+        if measurement.epoch_time > self.deadline:
+            return math.inf
+        return measurement.cost
+
+    def proxy_key(self, measurement: TuneMeasurement) -> float:
+        """Estimates carry a cost too (derived from estimated epoch time)."""
+        return self.key(measurement)
+
+
+def resolve_objective(objective):
+    """Accept an objective by registry name or as a duck-typed instance.
+
+    Example:
+        >>> from repro.tune.objective import resolve_objective
+        >>> resolve_objective("epoch_time").name
+        'epoch_time'
+    """
+    if isinstance(objective, str):
+        return OBJECTIVES.get(objective)
+    OBJECTIVES.validate(getattr(objective, "name", "<anonymous>"), objective)
+    return objective

@@ -1,0 +1,331 @@
+"""The autotuner's search-space DSL: :class:`TunePoint` and :class:`TuneSpace`.
+
+Covered by ``docs/TUNING.md`` (usage) and ``docs/API.md`` (reference).
+
+A :class:`TunePoint` is one candidate configuration the tuner may evaluate —
+an :class:`~repro.core.config.ExperimentConfig` cell (task, dataset, server,
+GPU count, batch size, strategy) optionally extended with a cluster placement
+policy and a :class:`~repro.cluster.spec.ClusterSpec` candidate for
+fleet-throughput objectives.  A :class:`TuneSpace` is the cartesian grid of
+those axes, built either explicitly or from an existing config with
+:meth:`TuneSpace.from_config`.
+
+The GPU-count axis doubles as the *partition-granularity* axis: each strategy
+partitions the teacher/student blocks across exactly ``num_gpus`` devices, so
+sweeping GPU counts sweeps how finely the block pipeline is cut (the paper's
+C(B-1, N-1) contiguous-partition space grows with N).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.cluster.scheduler import POLICIES
+from repro.cluster.spec import ClusterSpec
+from repro.core.config import (
+    ExperimentConfig,
+    VALID_DATASETS,
+    VALID_SERVERS,
+    VALID_TASKS,
+)
+from repro.errors import ConfigurationError
+from repro.parallel.registry import REGISTRY
+
+
+@dataclass(frozen=True)
+class TunePoint:
+    """One candidate the autotuner may evaluate.
+
+    ``policy`` and ``cluster`` are only set for fleet-throughput objectives;
+    single-server objectives leave them ``None``.
+
+    Example:
+        >>> from repro.tune.space import TunePoint
+        >>> point = TunePoint(task="nas", dataset="cifar10", server="a6000",
+        ...                   num_gpus=4, batch_size=256, strategy="TR+DPU+AHD")
+        >>> point.config(simulated_steps=6).cell_label()
+        'nas/cifar10/a6000x4/b256'
+    """
+
+    task: str
+    dataset: str
+    server: str
+    num_gpus: int
+    batch_size: int
+    strategy: str
+    policy: Optional[str] = None
+    cluster: Optional[ClusterSpec] = None
+
+    def config(self, simulated_steps: int = 10) -> ExperimentConfig:
+        """Materialise the single-server experiment cell of this candidate."""
+        return ExperimentConfig(
+            task=self.task,
+            dataset=self.dataset,
+            server=self.server,
+            num_gpus=self.num_gpus,
+            batch_size=self.batch_size,
+            strategy=self.strategy,
+            simulated_steps=simulated_steps,
+        )
+
+    def cell_signature(self) -> Tuple[str, str, str, int, int, str]:
+        """Hashable identity of the single-server cell (ignores policy/cluster)."""
+        return (
+            self.task,
+            self.dataset,
+            self.server,
+            self.num_gpus,
+            self.batch_size,
+            self.strategy,
+        )
+
+    def key(self) -> Tuple:
+        """Full hashable identity, including the cluster axes.
+
+        The cluster participates as the spec itself (frozen, hashable), not
+        its name — candidate fleets may share a name yet differ in shape.
+        """
+        return self.cell_signature() + (self.policy, self.cluster)
+
+    def label(self) -> str:
+        """Short human-readable label used in frontier tables."""
+        base = (
+            f"{self.task}/{self.dataset}/{self.server}x{self.num_gpus}"
+            f"/b{self.batch_size}/{self.strategy}"
+        )
+        if self.policy is not None:
+            base += f"/{self.policy}"
+        return base
+
+    def to_dict(self) -> dict:
+        return {
+            "task": self.task,
+            "dataset": self.dataset,
+            "server": self.server,
+            "num_gpus": self.num_gpus,
+            "batch_size": self.batch_size,
+            "strategy": self.strategy,
+            "policy": self.policy,
+            "cluster": self.cluster.name if self.cluster is not None else None,
+        }
+
+
+@dataclass(frozen=True)
+class TuneSpace:
+    """The cartesian search grid the autotuner explores.
+
+    Every axis is a non-empty tuple; ``policies``/``clusters`` default to
+    empty and are only crossed in when provided (fleet-throughput
+    objectives).  When ``clusters`` are given, the single-server ``servers``
+    axis is ignored for those points — the scheduler decides which node (and
+    therefore which GPU type) a gang lands on, so each point's nominal
+    server is taken from the cluster's first node.
+
+    Example:
+        >>> from repro.tune.space import TuneSpace
+        >>> space = TuneSpace(strategies=("DP", "TR+DPU+AHD"),
+        ...                   batch_sizes=(128, 256), gpu_counts=(2, 4))
+        >>> len(space)
+        8
+        >>> space.points()[0].strategy
+        'DP'
+    """
+
+    strategies: Tuple[str, ...] = ("DP", "LS", "TR", "TR+DPU", "TR+IR", "TR+DPU+AHD")
+    batch_sizes: Tuple[int, ...] = (128, 256, 384, 512)
+    gpu_counts: Tuple[int, ...] = (2, 4)
+    servers: Tuple[str, ...] = ("a6000",)
+    tasks: Tuple[str, ...] = ("nas",)
+    datasets: Tuple[str, ...] = ("cifar10",)
+    policies: Tuple[str, ...] = ()
+    clusters: Tuple[ClusterSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("strategies", "batch_sizes", "gpu_counts", "servers", "tasks", "datasets"):
+            values = getattr(self, name)
+            if not values:
+                raise ConfigurationError(f"tune space axis {name!r} must be non-empty")
+            if len(set(values)) != len(values):
+                raise ConfigurationError(f"tune space axis {name!r} has duplicates")
+        for strategy in self.strategies:
+            REGISTRY.get(strategy)
+        for policy in self.policies:
+            POLICIES.get(policy)
+        for task in self.tasks:
+            if task not in VALID_TASKS:
+                raise ConfigurationError(f"unknown task {task!r}; valid: {VALID_TASKS}")
+        for dataset in self.datasets:
+            if dataset not in VALID_DATASETS:
+                raise ConfigurationError(
+                    f"unknown dataset {dataset!r}; valid: {VALID_DATASETS}"
+                )
+        for server in self.servers:
+            if server not in VALID_SERVERS:
+                raise ConfigurationError(
+                    f"unknown server {server!r}; valid: {VALID_SERVERS}"
+                )
+        if min(self.gpu_counts) < 1:
+            raise ConfigurationError("gpu_counts must all be >= 1")
+        if min(self.batch_sizes) < max(self.gpu_counts):
+            raise ConfigurationError(
+                f"smallest batch size ({min(self.batch_sizes)}) must be >= the "
+                f"largest GPU count ({max(self.gpu_counts)})"
+            )
+        if self.clusters and not self.policies:
+            raise ConfigurationError(
+                "a tune space with cluster candidates also needs a policies axis"
+            )
+        cluster_names = [cluster.name for cluster in self.clusters]
+        if len(set(cluster_names)) != len(cluster_names):
+            raise ConfigurationError(
+                "cluster candidates must have distinct names (pass name=... to "
+                f"cluster_from_shorthand); got {cluster_names}"
+            )
+        for cluster in self.clusters:
+            if max(self.gpu_counts) > cluster.max_gpus_per_node:
+                raise ConfigurationError(
+                    f"gpu count {max(self.gpu_counts)} exceeds the largest node of "
+                    f"cluster {cluster.name!r} ({cluster.max_gpus_per_node} GPUs)"
+                )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def has_cluster_axes(self) -> bool:
+        """Whether this space crosses placement policies (fleet objectives)."""
+        return bool(self.policies)
+
+    def effective_clusters(self) -> Tuple[ClusterSpec, ...]:
+        """Cluster candidates, defaulting to the standard 4-node fleet."""
+        if self.clusters:
+            return self.clusters
+        from repro.cluster.spec import default_cluster
+
+        return (default_cluster(),)
+
+    def __len__(self) -> int:
+        base = (
+            len(self.strategies)
+            * len(self.batch_sizes)
+            * len(self.gpu_counts)
+            * len(self.tasks)
+            * len(self.datasets)
+        )
+        if self.has_cluster_axes:
+            return base * len(self.policies) * len(self.effective_clusters())
+        return base * len(self.servers)
+
+    def points(self) -> Tuple[TunePoint, ...]:
+        """Every candidate of the grid, in a deterministic axis order.
+
+        Example:
+            >>> from repro.tune.space import TuneSpace
+            >>> space = TuneSpace(strategies=("DP",), batch_sizes=(128,),
+            ...                   gpu_counts=(2,), servers=("a6000", "2080ti"))
+            >>> [p.server for p in space.points()]
+            ['a6000', '2080ti']
+        """
+        points = []
+        cells = itertools.product(
+            self.tasks, self.datasets, self.gpu_counts, self.batch_sizes, self.strategies
+        )
+        if self.has_cluster_axes:
+            clusters = self.effective_clusters()
+            for task, dataset, gpus, batch, strategy in cells:
+                for cluster in clusters:
+                    for policy in self.policies:
+                        points.append(
+                            TunePoint(
+                                task=task,
+                                dataset=dataset,
+                                server=cluster.nodes[0].server,
+                                num_gpus=gpus,
+                                batch_size=batch,
+                                strategy=strategy,
+                                policy=policy,
+                                cluster=cluster,
+                            )
+                        )
+        else:
+            for task, dataset, gpus, batch, strategy in cells:
+                for server in self.servers:
+                    points.append(
+                        TunePoint(
+                            task=task,
+                            dataset=dataset,
+                            server=server,
+                            num_gpus=gpus,
+                            batch_size=batch,
+                            strategy=strategy,
+                        )
+                    )
+        return tuple(points)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(
+        cls,
+        base: ExperimentConfig,
+        *,
+        strategies: Optional[Sequence[str]] = None,
+        batch_sizes: Optional[Sequence[int]] = None,
+        gpu_counts: Optional[Sequence[int]] = None,
+        servers: Optional[Sequence[str]] = None,
+        tasks: Optional[Sequence[str]] = None,
+        datasets: Optional[Sequence[str]] = None,
+        policies: Sequence[str] = (),
+        clusters: Sequence[ClusterSpec] = (),
+    ) -> "TuneSpace":
+        """Grow a space around an existing config; ``None`` axes stay fixed.
+
+        Example:
+            >>> from repro.core.config import ExperimentConfig
+            >>> from repro.tune.space import TuneSpace
+            >>> space = TuneSpace.from_config(ExperimentConfig(),
+            ...                               batch_sizes=(128, 256))
+            >>> (len(space), space.points()[0].strategy)
+            (2, 'TR+DPU+AHD')
+        """
+
+        def axis(values, fallback):
+            return tuple(values) if values is not None else (fallback,)
+
+        return cls(
+            strategies=axis(strategies, base.strategy),
+            batch_sizes=axis(batch_sizes, base.batch_size),
+            gpu_counts=axis(gpu_counts, base.num_gpus),
+            servers=axis(servers, base.server),
+            tasks=axis(tasks, base.task),
+            datasets=axis(datasets, base.dataset),
+            policies=tuple(policies),
+            clusters=tuple(clusters),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "strategies": list(self.strategies),
+            "batch_sizes": list(self.batch_sizes),
+            "gpu_counts": list(self.gpu_counts),
+            "servers": list(self.servers),
+            "tasks": list(self.tasks),
+            "datasets": list(self.datasets),
+            "policies": list(self.policies),
+            "clusters": [cluster.to_dict() for cluster in self.clusters],
+            "size": len(self),
+        }
+
+
+def default_space() -> TuneSpace:
+    """The default tuning grid: every strategy x batch x GPU count x server.
+
+    96 candidates (6 strategies x 4 batch sizes x 2 GPU counts x 2 servers)
+    on the paper's NAS/CIFAR-10 workload — the grid the CLI tunes when no
+    axis flags are given.
+
+    Example:
+        >>> from repro.tune.space import default_space
+        >>> len(default_space())
+        96
+    """
+    return TuneSpace(servers=("a6000", "2080ti"))

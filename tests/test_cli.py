@@ -166,10 +166,132 @@ class TestCluster:
         assert "error:" in captured.err
 
 
+class TestTune:
+    def test_tune_round_trip(self, capsys, tmp_path):
+        target = tmp_path / "tune.json"
+        code, captured = run_cli(
+            capsys,
+            "tune",
+            "--objective",
+            "epoch_time",
+            "--strategies",
+            "DP,TR,TR+DPU+AHD",
+            "--batch-sizes",
+            "128,256",
+            "--gpu-counts",
+            "2",
+            "--servers",
+            "a6000",
+            "--budget",
+            "6",
+            "--steps",
+            "4",
+            "--table",
+            "--out",
+            str(target),
+        )
+        assert code == 0
+        assert "Pareto frontier" in captured.err
+        payload = json.loads(target.read_text())
+        assert payload["objective"]["name"] == "epoch_time"
+        assert payload["driver"] == "successive-halving"
+        assert payload["space"]["size"] == 6
+        assert payload["frontier"]
+        # The winner is the fastest evaluated candidate...
+        times = [m["epoch_time_s"] for m in payload["measurements"]]
+        assert payload["best"]["epoch_time_s"] == min(times)
+        # ...and the frontier is loadable by the analysis helpers.
+        from repro.analysis.pareto import assert_frontier_consistent, load_tune_result
+
+        assert_frontier_consistent(load_tune_result(target))
+
+    def test_tune_throughput_objective_via_policies(self, capsys):
+        code, captured = run_cli(
+            capsys,
+            "tune",
+            "--objective",
+            "jobs_per_hour",
+            "--strategies",
+            "TR+DPU+AHD",
+            "--batch-sizes",
+            "128",
+            "--gpu-counts",
+            "2",
+            "--policies",
+            "fifo,best-fit",
+            "--nodes",
+            "a6000:4,2080ti:4",
+            "--driver",
+            "exhaustive",
+            "--budget",
+            "4",
+            "--steps",
+            "4",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["best"]["jobs_per_hour"] > 0
+
+    def test_tune_missing_policies_is_reported_not_raised(self, capsys):
+        code, captured = run_cli(
+            capsys, "tune", "--objective", "jobs_per_hour", "--budget", "4"
+        )
+        assert code == 2
+        assert "policies" in captured.err
+
+    def test_tune_deadline_requires_cost_objective(self, capsys):
+        code, captured = run_cli(
+            capsys,
+            "tune",
+            "--objective",
+            "epoch_time",
+            "--deadline",
+            "12",
+            "--budget",
+            "2",
+        )
+        assert code == 2
+        assert "--deadline" in captured.err
+
+    def test_tune_deadline_flag(self, capsys):
+        code, captured = run_cli(
+            capsys,
+            "tune",
+            "--objective",
+            "cost",
+            "--deadline",
+            "1e9",
+            "--strategies",
+            "DP,TR",
+            "--batch-sizes",
+            "128",
+            "--gpu-counts",
+            "2",
+            "--servers",
+            "2080ti",
+            "--budget",
+            "2",
+            "--steps",
+            "4",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["objective"]["name"] == "cost"
+        assert payload["best"]["cost_usd_per_epoch"] > 0
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        from repro.version import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
     def test_unknown_policy_reported(self, capsys):
         code, captured = run_cli(

@@ -1,0 +1,63 @@
+"""Documentation health: links resolve, code blocks at least compile.
+
+The CI ``docs`` job *executes* every fenced python block in ``README.md``
+and ``docs/*.md`` (``tools/check_docs.py``); the tier-1 suite keeps the
+cheap half of that contract — link integrity and block syntax — so broken
+docs fail fast locally too.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_tree_exists():
+    for name in ("ARCHITECTURE.md", "API.md", "TUNING.md"):
+        assert (REPO_ROOT / "docs" / name).exists(), f"docs/{name} is missing"
+
+
+def test_intra_repo_links_resolve():
+    check_docs = load_check_docs()
+    errors = []
+    for path in check_docs.default_files():
+        errors.extend(check_docs.check_links(path))
+    assert not errors, "\n".join(errors)
+
+
+def test_python_blocks_compile():
+    check_docs = load_check_docs()
+    errors = []
+    for path in check_docs.default_files():
+        assert check_docs.python_blocks(path), f"{path.name} has no python examples"
+        errors.extend(check_docs.compile_python_blocks(path))
+    assert not errors, "\n".join(errors)
+
+
+def test_checker_flags_broken_links(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("see [missing](./does-not-exist.md)\n")
+    check_docs = load_check_docs()
+    errors = check_docs.check_links(page)
+    assert len(errors) == 1 and "does-not-exist" in errors[0]
+
+
+def test_checker_cli_links_only_mode():
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py"), "--links-only"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, completed.stderr

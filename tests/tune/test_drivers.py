@@ -1,0 +1,145 @@
+"""Driver-registry invariants: every registered search driver behaves.
+
+Mirrors ``tests/parallel/test_registry_invariants.py``: the tests
+parametrise over ``DRIVERS.names()`` at collection time, so a plugin driver
+registered before collection is held to the same contract as the built-ins —
+full-fidelity results only, the budget respected, and bit-identical results
+for identical (space, budget, seed) runs.
+"""
+
+import pytest
+
+from repro.core.session import Session
+from repro.errors import ConfigurationError
+from repro.tune.drivers import DRIVERS, DriverRun, register_driver
+from repro.tune.evaluator import TuneEvaluator
+from repro.tune.objective import OBJECTIVES
+from repro.tune.space import TuneSpace
+from repro.tune.tuner import tune
+
+BUDGET = 5
+
+
+def small_space() -> TuneSpace:
+    return TuneSpace(
+        strategies=("DP", "TR", "TR+DPU+AHD"),
+        batch_sizes=(128, 256),
+        gpu_counts=(2,),
+        servers=("a6000",),
+    )
+
+
+@pytest.mark.parametrize("driver", DRIVERS.names())
+class TestDriverInvariants:
+    def test_results_are_full_fidelity_and_within_budget(self, driver):
+        evaluator = TuneEvaluator(session=Session(), simulated_steps=6)
+        run = DRIVERS.get(driver).search(
+            small_space(),
+            OBJECTIVES.get("epoch_time"),
+            evaluator,
+            budget=BUDGET,
+            seed=0,
+        )
+        assert isinstance(run, DriverRun)
+        assert run.evaluated
+        assert all(m.fidelity == "simulated" for m in run.evaluated)
+        assert all(m.max_memory_gb is not None for m in run.evaluated)
+        assert evaluator.stats.simulations <= BUDGET
+
+    def test_same_inputs_search_identically(self, driver):
+        def run_once():
+            return tune(
+                small_space(),
+                objective="epoch_time",
+                driver=driver,
+                budget=BUDGET,
+                seed=3,
+                simulated_steps=6,
+                session=Session(),
+            )
+
+        first, second = run_once(), run_once()
+        assert first.best.point.key() == second.best.point.key()
+        assert first.to_dict() == second.to_dict()
+
+    def test_trajectory_is_monotonically_improving(self, driver):
+        result = tune(
+            small_space(),
+            objective="epoch_time",
+            driver=driver,
+            budget=BUDGET,
+            seed=0,
+            simulated_steps=6,
+            session=Session(),
+        )
+        scores = [entry["best_score"] for entry in result.trajectory]
+        assert scores == sorted(scores, reverse=True)
+        assert scores[-1] == result.best.epoch_time
+
+
+class TestRandomSearchSeeding:
+    def test_seed_determines_sample(self):
+        space = small_space()
+        first = tune(space, driver="random", budget=3, seed=11,
+                     simulated_steps=6, session=Session())
+        again = tune(space, driver="random", budget=3, seed=11,
+                     simulated_steps=6, session=Session())
+        other = tune(space, driver="random", budget=3, seed=12,
+                     simulated_steps=6, session=Session())
+        keys = lambda result: [m.point.key() for m in result.measurements]
+        assert keys(first) == keys(again)
+        assert keys(first) != keys(other)
+
+    def test_budget_at_grid_size_covers_everything(self):
+        space = small_space()
+        result = tune(space, driver="random", budget=len(space),
+                      simulated_steps=6, session=Session())
+        assert len(result.measurements) == len(space)
+        assert {m.point.key() for m in result.measurements} == {
+            p.key() for p in space.points()
+        }
+
+
+class TestDriverRegistration:
+    def test_driver_without_search_rejected(self):
+        class Broken:
+            name = "broken-driver"
+
+        with pytest.raises(ConfigurationError):
+            DRIVERS.register(Broken())
+
+    def test_duplicate_name_rejected_without_replace(self):
+        class Clone:
+            name = "random"
+
+            def search(self, space, objective, evaluator, *, budget, seed):
+                raise NotImplementedError
+
+        with pytest.raises(ConfigurationError):
+            DRIVERS.register(Clone())
+
+    def test_custom_driver_usable_by_name(self):
+        @register_driver
+        class FirstPointOnly:
+            name = "first-point"
+
+            def search(self, space, objective, evaluator, *, budget, seed):
+                measurement = evaluator.evaluate(space.points()[0], objective)
+                return DriverRun(evaluated=(measurement,))
+
+        try:
+            result = tune(
+                small_space(),
+                driver="first-point",
+                budget=1,
+                simulated_steps=6,
+                session=Session(),
+            )
+            assert result.driver == "first-point"
+            assert len(result.measurements) == 1
+        finally:
+            DRIVERS.unregister("first-point")
+
+    def test_unknown_driver_error_names_known_set(self):
+        with pytest.raises(ConfigurationError, match="exhaustive"):
+            tune(small_space(), driver="grid-search", budget=1, session=Session())

@@ -1,0 +1,115 @@
+"""Pareto dominance and frontier pruning unit tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tune.objective import TuneMeasurement
+from repro.tune.result import dominates, pareto_frontier
+from repro.tune.space import TunePoint
+
+
+def measurement(epoch_time, gpus=2, memory=1.0, strategy="DP"):
+    point = TunePoint(
+        task="nas",
+        dataset="cifar10",
+        server="a6000",
+        num_gpus=gpus,
+        batch_size=128,
+        strategy=strategy,
+    )
+    return TuneMeasurement(
+        point=point,
+        epoch_time=epoch_time,
+        cost=0.0,
+        fidelity="simulated",
+        simulated_steps=4,
+        max_memory_gb=memory,
+    )
+
+
+class TestDominance:
+    def test_strictly_better_on_one_axis_dominates(self):
+        assert dominates(measurement(5.0), measurement(9.0))
+
+    def test_equal_points_do_not_dominate_each_other(self):
+        assert not dominates(measurement(5.0), measurement(5.0))
+
+    def test_tradeoff_points_are_incomparable(self):
+        fast_big = measurement(5.0, gpus=4)
+        slow_small = measurement(9.0, gpus=2)
+        assert not dominates(fast_big, slow_small)
+        assert not dominates(slow_small, fast_big)
+
+    def test_memory_axis_participates(self):
+        lean = measurement(5.0, memory=1.0)
+        fat = measurement(5.0, memory=2.0)
+        assert dominates(lean, fat)
+        assert not dominates(fat, lean)
+
+    def test_estimate_fidelity_rejected(self):
+        bad = TuneMeasurement(
+            point=measurement(1.0).point,
+            epoch_time=1.0,
+            cost=0.0,
+            fidelity="estimate",
+            simulated_steps=0,
+        )
+        with pytest.raises(ConfigurationError):
+            dominates(bad, measurement(5.0))
+
+
+class TestFrontier:
+    def test_dominated_points_are_pruned(self):
+        frontier = pareto_frontier(
+            [measurement(5.0, gpus=4), measurement(8.0, gpus=2), measurement(9.0, gpus=4)]
+        )
+        assert [(m.gpus, m.epoch_time) for m in frontier] == [(4, 5.0), (2, 8.0)]
+
+    def test_frontier_sorted_fastest_first(self):
+        frontier = pareto_frontier(
+            [measurement(8.0, gpus=2), measurement(5.0, gpus=4)]
+        )
+        assert [m.epoch_time for m in frontier] == [5.0, 8.0]
+
+    def test_single_point_is_its_own_frontier(self):
+        only = measurement(5.0)
+        assert pareto_frontier([only]) == (only,)
+
+    def test_duplicate_axis_vectors_kept_once(self):
+        first = measurement(5.0, strategy="DP")
+        twin = measurement(5.0, strategy="TR")
+        frontier = pareto_frontier([first, twin])
+        assert len(frontier) == 1
+        assert frontier[0].point.strategy == "DP"
+
+    def test_empty_input_gives_empty_frontier(self):
+        assert pareto_frontier([]) == ()
+
+    def test_frontier_series_respects_axis_sense(self):
+        """jobs_per_hour is maximised: the series keeps the largest value
+        per x, while minimised axes keep the smallest."""
+        from repro.analysis.pareto import frontier_series
+
+        slow = measurement(9.0, gpus=2, memory=1.0)
+        fast = measurement(5.0, gpus=2, memory=2.0)
+        result = {
+            "frontier": [
+                dict(m.to_dict(), jobs_per_hour=jph)
+                for m, jph in ((slow, 400.0), (fast, 900.0))
+            ],
+            "measurements": [],
+        }
+        assert frontier_series(result, x="gpus", y="jobs_per_hour") == {2: 900.0}
+        assert frontier_series(result, x="gpus", y="epoch_time_s") == {2: 5.0}
+
+    def test_no_frontier_point_dominated_by_any_measurement(self):
+        measurements = [
+            measurement(5.0, gpus=4, memory=2.0),
+            measurement(6.0, gpus=4, memory=1.5),
+            measurement(7.0, gpus=2, memory=2.5),
+            measurement(9.0, gpus=2, memory=1.0),
+            measurement(10.0, gpus=4, memory=3.0),
+        ]
+        frontier = pareto_frontier(measurements)
+        for kept in frontier:
+            assert not any(dominates(other, kept) for other in measurements)

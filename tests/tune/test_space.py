@@ -1,0 +1,126 @@
+"""TuneSpace DSL: grid construction, validation and determinism."""
+
+import pytest
+
+from repro.cluster.spec import cluster_from_shorthand
+from repro.core.config import ExperimentConfig
+from repro.errors import ConfigurationError
+from repro.tune.space import TunePoint, TuneSpace, default_space
+
+
+class TestTunePoint:
+    def test_config_materialisation(self):
+        point = TunePoint(
+            task="nas",
+            dataset="cifar10",
+            server="a6000",
+            num_gpus=2,
+            batch_size=128,
+            strategy="TR",
+        )
+        config = point.config(simulated_steps=6)
+        assert config.strategy == "TR"
+        assert config.num_gpus == 2
+        assert config.simulated_steps == 6
+
+    def test_key_distinguishes_policy_and_cluster(self):
+        base = dict(
+            task="nas",
+            dataset="cifar10",
+            server="a6000",
+            num_gpus=2,
+            batch_size=128,
+            strategy="TR",
+        )
+        plain = TunePoint(**base)
+        fifo = TunePoint(**base, policy="fifo")
+        sjf = TunePoint(**base, policy="sjf")
+        assert plain.key() != fifo.key()
+        assert fifo.key() != sjf.key()
+        assert plain.cell_signature() == fifo.cell_signature()
+
+    def test_points_differing_only_in_cluster_stay_distinct(self):
+        space = TuneSpace(
+            strategies=("TR",),
+            batch_sizes=(128,),
+            gpu_counts=(2,),
+            policies=("fifo",),
+            clusters=(
+                cluster_from_shorthand("a6000:4", name="fleet-a"),
+                cluster_from_shorthand("a6000:4,a6000:4", name="fleet-b"),
+            ),
+        )
+        points = space.points()
+        assert len(points) == 2
+        assert len({point.key() for point in points}) == 2
+        assert len(set(points)) == 2  # hashing must not collapse them
+
+
+class TestTuneSpace:
+    def test_len_matches_points(self):
+        space = TuneSpace(
+            strategies=("DP", "TR"),
+            batch_sizes=(128, 256),
+            gpu_counts=(2, 4),
+            servers=("a6000", "2080ti"),
+        )
+        assert len(space) == 16
+        assert len(space.points()) == 16
+
+    def test_points_are_deterministic(self):
+        space = default_space()
+        assert [p.key() for p in space.points()] == [p.key() for p in space.points()]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TuneSpace(strategies=("FSDP",))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TuneSpace(policies=("round-robin",))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TuneSpace(batch_sizes=())
+
+    def test_batch_must_cover_largest_gang(self):
+        with pytest.raises(ConfigurationError):
+            TuneSpace(batch_sizes=(2,), gpu_counts=(4,))
+
+    def test_clusters_require_policies(self):
+        with pytest.raises(ConfigurationError):
+            TuneSpace(clusters=(cluster_from_shorthand("a6000:4"),))
+
+    def test_gang_must_fit_cluster_nodes(self):
+        with pytest.raises(ConfigurationError):
+            TuneSpace(
+                gpu_counts=(4,),
+                policies=("fifo",),
+                clusters=(cluster_from_shorthand("a6000:2"),),
+            )
+
+    def test_cluster_axes_cross_policies(self):
+        space = TuneSpace(
+            strategies=("TR",),
+            batch_sizes=(128,),
+            gpu_counts=(2,),
+            policies=("fifo", "best-fit"),
+        )
+        points = space.points()
+        assert len(points) == 2
+        assert {p.policy for p in points} == {"fifo", "best-fit"}
+        # Nominal server comes from the (default) cluster's first node.
+        assert all(p.cluster is not None for p in points)
+
+    def test_from_config_fixes_unspecified_axes(self):
+        base = ExperimentConfig(batch_size=256, num_gpus=4, strategy="TR")
+        space = TuneSpace.from_config(base, batch_sizes=(128, 256))
+        assert len(space) == 2
+        assert {p.strategy for p in space.points()} == {"TR"}
+        assert {p.num_gpus for p in space.points()} == {4}
+
+    def test_to_dict_roundtrips_size(self):
+        space = default_space()
+        payload = space.to_dict()
+        assert payload["size"] == len(space) == 96
+        assert payload["servers"] == ["a6000", "2080ti"]

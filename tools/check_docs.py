@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Keep the documentation honest: code blocks must run, links must resolve.
+
+For every markdown file (default: ``README.md`` and ``docs/*.md``):
+
+* every fenced ```` ```python ```` block is extracted; a file's blocks are
+  concatenated in order and executed in ONE fresh subprocess with
+  ``PYTHONPATH=src`` and the repository root as working directory, so
+  sequential snippets may build on each other but files stay isolated;
+* every intra-repo markdown link ``[text](target)`` outside code fences is
+  resolved relative to the file (anchors stripped) and must exist.
+
+Exit status is non-zero if any block fails or any link is broken.  CI runs
+this as the ``docs`` job; ``--links-only`` skips execution for fast local
+checks (the tier-1 suite runs that mode plus a syntax compile).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FENCE_RE = re.compile(r"^```(\S*)\s*$")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def display(path: Path) -> str:
+    """Repo-relative path when possible, absolute otherwise (tmp files)."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def default_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def fenced_blocks(text: str) -> List[Tuple[str, str]]:
+    """All fenced code blocks as (language, code) pairs, in order."""
+    blocks: List[Tuple[str, str]] = []
+    language = None
+    lines: List[str] = []
+    for line in text.splitlines():
+        match = FENCE_RE.match(line.strip())
+        if match and language is None:
+            language = match.group(1).lower()
+            lines = []
+        elif line.strip() == "```" and language is not None:
+            blocks.append((language, "\n".join(lines)))
+            language = None
+        elif language is not None:
+            lines.append(line)
+    return blocks
+
+
+def python_blocks(path: Path) -> List[str]:
+    return [code for language, code in fenced_blocks(path.read_text()) if language == "python"]
+
+
+def check_links(path: Path) -> List[str]:
+    """Broken intra-repo link targets of one markdown file."""
+    errors = []
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                errors.append(f"{display(path)}:{number}: broken link {target!r}")
+    return errors
+
+
+def run_python_blocks(path: Path, timeout: float = 600.0) -> List[str]:
+    """Execute a file's python blocks sequentially in one subprocess."""
+    blocks = python_blocks(path)
+    if not blocks:
+        return []
+    code = "\n\n".join(blocks)
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, "-"],
+        input=code,
+        text=True,
+        capture_output=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=timeout,
+    )
+    if completed.returncode != 0:
+        tail = "\n".join(completed.stderr.strip().splitlines()[-12:])
+        return [
+            f"{display(path)}: python blocks failed "
+            f"(exit {completed.returncode}):\n{tail}"
+        ]
+    return []
+
+
+def compile_python_blocks(path: Path) -> List[str]:
+    """Syntax-compile a file's python blocks without executing them."""
+    errors = []
+    for index, code in enumerate(python_blocks(path)):
+        try:
+            compile(code, f"{path.name}[block {index}]", "exec")
+        except SyntaxError as error:
+            errors.append(f"{display(path)} block {index}: {error}")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path, help="markdown files to check")
+    parser.add_argument(
+        "--links-only",
+        action="store_true",
+        help="check links and syntax only; skip executing code blocks",
+    )
+    args = parser.parse_args(argv)
+    files = [path.resolve() for path in args.files] if args.files else default_files()
+
+    failures: List[str] = []
+    for path in files:
+        failures.extend(check_links(path))
+        failures.extend(compile_python_blocks(path))
+        if not args.links_only:
+            run_failures = run_python_blocks(path)
+            failures.extend(run_failures)
+            if not run_failures:
+                print(f"ok: {display(path)}")
+
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"\n{len(failures)} documentation problem(s)", file=sys.stderr)
+        return 1
+    if args.links_only:
+        print(f"checked links/syntax in {len(files)} file(s): all good")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
