@@ -24,8 +24,13 @@ Blockwise Distillation" (DATE 2023).  It contains:
   event-driven cluster simulator.
 * ``repro.tune`` — the autotuner: search-space DSL, pluggable objectives
   and search drivers, incremental evaluation and Pareto-frontier results.
+* ``repro.store`` — the persistence layer: a content-addressed on-disk
+  experiment store that makes sweeps, tuning runs and fleet replays
+  resumable across processes, plus the ``inline``/``thread``/``process``
+  execution-backend registry.
 * ``repro.analysis`` — breakdowns, speedups, memory reports, schedule
-  visualisation, fleet-level cluster reports and Pareto analytics.
+  visualisation, fleet-level cluster reports, Pareto analytics and
+  store warm/cold hit-rate reports.
 
 See ``docs/ARCHITECTURE.md`` for the layer map, ``docs/API.md`` for the
 public API reference and ``docs/TUNING.md`` for the autotuning guide.
@@ -47,6 +52,12 @@ from repro.cluster import (
     poisson_workload,
     register_policy,
     run_policy_comparison,
+)
+from repro.store import (
+    BACKENDS,
+    ExperimentStore,
+    open_store,
+    register_backend,
 )
 from repro.tune import (
     DRIVERS,
@@ -78,6 +89,10 @@ __all__ = [
     "poisson_workload",
     "register_policy",
     "run_policy_comparison",
+    "BACKENDS",
+    "ExperimentStore",
+    "open_store",
+    "register_backend",
     "DRIVERS",
     "OBJECTIVES",
     "TuneResult",

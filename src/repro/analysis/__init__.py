@@ -1,4 +1,4 @@
-"""Post-processing: breakdowns, speedups, memory reports, schedule rendering."""
+"""Post-processing: breakdowns, speedups, memory, schedules, cache analytics."""
 
 from repro.analysis.breakdown import (
     epoch_breakdown,
@@ -22,6 +22,12 @@ from repro.analysis.cluster_report import (
     compare_policies,
     format_cluster_report,
     percentile,
+)
+from repro.analysis.store_report import (
+    format_session_stats,
+    format_store_overview,
+    store_overview,
+    warm_cold_summary,
 )
 from repro.analysis.pareto import (
     assert_frontier_consistent,
@@ -56,6 +62,10 @@ __all__ = [
     "compare_policies",
     "format_cluster_report",
     "percentile",
+    "format_session_stats",
+    "format_store_overview",
+    "store_overview",
+    "warm_cold_summary",
     "assert_frontier_consistent",
     "dominated_fraction",
     "format_frontier_table",

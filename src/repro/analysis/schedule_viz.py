@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.errors import ConfigurationError
 from repro.parallel.plan import SchedulePlan
 from repro.sim.events import TaskKind
 from repro.sim.resources import device_compute
@@ -76,6 +77,13 @@ def render_gantt(
     each character covers an equal slice of the rendered interval and shows
     the glyph of the task occupying most of that slice (``.`` for idle).
     """
+    if trace is None:
+        raise ConfigurationError(
+            "this result has no trace to render: traces are not persisted "
+            "in the experiment store, so store-hydrated results carry "
+            "trace=None — re-run the cell without a store (or with a cold "
+            "one) to obtain a trace"
+        )
     if width < 10:
         raise ValueError("width must be at least 10 characters")
     if start is None:

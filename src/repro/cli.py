@@ -1,6 +1,6 @@
 """``python -m repro`` — command-line front door over the Session/cluster APIs.
 
-Four subcommands mirror the four levels of the system:
+Five subcommands mirror the five levels of the system:
 
 * ``run`` — one (config, strategy) cell on one simulated server,
 * ``sweep`` — a grid over batch sizes / GPU counts / datasets / servers /
@@ -9,13 +9,23 @@ Four subcommands mirror the four levels of the system:
   or all placement policies,
 * ``tune`` — autotune strategy x batch x GPU count x server (and placement
   policy, for throughput objectives) under a simulation budget, emitting a
-  Pareto frontier.
+  Pareto frontier,
+* ``cache`` — inspect (``stats``), prune (``gc``) or dump (``export``) a
+  persistent experiment store.
+
+``run``/``sweep``/``cluster``/``tune`` accept ``--store PATH`` (default:
+the ``REPRO_STORE`` environment variable) to hydrate results from and
+write them through a persistent store, making repeated invocations — even
+across processes — perform zero duplicate simulations; ``sweep`` also
+accepts ``--backend {inline,thread,process}``.  Store-backed payloads
+embed the session's warm/cold summary.
 
 Every subcommand prints a JSON document to stdout (or ``--out FILE``), so
 the CLI composes with ``jq``/notebooks the same way the benchmark JSON
 artifacts do.  ``--version`` prints the library version and exits.
 
-Documented in ``docs/TUNING.md`` (tune) and the README (run/sweep/cluster).
+Documented in ``docs/TUNING.md`` (tune), ``docs/CACHING.md`` (store and
+backends) and the README (run/sweep/cluster).
 """
 
 from __future__ import annotations
@@ -28,6 +38,12 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.cluster_report import compare_policies
+from repro.analysis.store_report import (
+    format_session_stats,
+    format_store_overview,
+    store_overview,
+    warm_cold_summary,
+)
 from repro.analysis.sweep import format_sweep_table
 from repro.cluster.scheduler import POLICIES
 from repro.cluster.spec import cluster_from_shorthand, default_cluster
@@ -41,6 +57,7 @@ from repro.core.config import (
 )
 from repro.core.session import Session
 from repro.errors import ReproError
+from repro.store import BACKENDS, ExperimentStore
 from repro.version import __version__
 
 
@@ -61,6 +78,43 @@ def _emit(payload: dict, out: Optional[str]) -> None:
         print(text)
 
 
+def _session(args: argparse.Namespace) -> Session:
+    """A session bound to ``--store`` / ``$REPRO_STORE`` when given."""
+    return Session(store=getattr(args, "store", None) or None)
+
+
+def _store_payload(session: Session) -> dict:
+    """Warm/cold summary every store-backed payload embeds.
+
+    Uses the O(#shards) disk summary, not the full record parse — a
+    4-second ``run`` against a long-lived store must not pay an
+    O(whole-store) tail; ``cache stats`` is the full view.
+    """
+    payload = {
+        "session_stats": session.stats.to_dict(),
+        "warm_cold": warm_cold_summary(session),
+    }
+    if session.store is not None:
+        payload["store"] = session.store.disk_summary()
+    return payload
+
+
+def _require_store(args: argparse.Namespace) -> ExperimentStore:
+    if not args.store:
+        raise ReproError(
+            "cache commands need a store: pass --store PATH or set REPRO_STORE"
+        )
+    # Cache commands operate on an existing store; opening one would mkdir
+    # and write meta.json, so a typo'd path would silently materialise an
+    # empty store and report "0 records" instead of failing.
+    if not (Path(args.store) / "meta.json").exists():
+        raise ReproError(
+            f"no experiment store at {args.store!r} (meta.json missing); "
+            "check the path — stores are created by run/sweep/cluster/tune"
+        )
+    return ExperimentStore(args.store)
+
+
 # ---------------------------------------------------------------------- #
 # Subcommands
 # ---------------------------------------------------------------------- #
@@ -74,8 +128,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         simulated_steps=args.steps,
     )
-    result = Session().run(config)
+    session = _session(args)
+    result = session.run(config)
     payload = {"config": config.to_dict(), "result": result.to_dict()}
+    payload.update(_store_payload(session))
     _emit(payload, args.out)
     return 0
 
@@ -89,7 +145,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         simulated_steps=args.steps,
     )
-    session = Session()
+    session = _session(args)
     sweep = session.sweep(
         base,
         batch_sizes=_int_list(args.batch_sizes) if args.batch_sizes else None,
@@ -99,6 +155,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         tasks=_str_list(args.tasks) if args.tasks else None,
         strategies=_str_list(args.strategies) if args.strategies else None,
         parallel=args.parallel,
+        backend=args.backend,
     )
     if args.table:
         # The default baseline (DP) may not be part of the swept strategy
@@ -108,7 +165,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             args.baseline if args.baseline in sweep.strategies else sweep.strategies[0]
         )
         print(format_sweep_table(sweep, baseline=baseline), file=sys.stderr)
-    _emit(sweep.to_dict(), args.out)
+        print(format_session_stats(session.stats), file=sys.stderr)
+    payload = sweep.to_dict()
+    payload.update(_store_payload(session))
+    _emit(payload, args.out)
     return 0
 
 
@@ -133,16 +193,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         print(f"wrote {args.save_workload}", file=sys.stderr)
 
     policies = tuple(POLICIES.names()) if args.policy == "all" else (args.policy,)
-    session = Session()
+    session = _session(args)
     reports = run_policy_comparison(cluster, workload, policies=policies, session=session)
     if args.table:
         print(compare_policies(reports), file=sys.stderr)
     payload = {
         "cluster": cluster.to_dict(),
         "workload": workload.name,
-        "session_stats": session.stats.to_dict(),
         "reports": {name: report.to_dict() for name, report in reports.items()},
     }
+    payload.update(_store_payload(session))
     _emit(payload, args.out)
     return 0
 
@@ -151,7 +211,6 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.analysis.pareto import format_frontier_table, format_tune_summary
     from repro.tune.objective import MinCostUnderDeadline
     from repro.tune.space import TuneSpace, default_space
-    from repro.tune.tuner import tune
 
     base = default_space()
     clusters = (cluster_from_shorthand(args.nodes),) if args.nodes else ()
@@ -175,7 +234,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         if args.deadline is not None
         else args.objective
     )
-    result = tune(
+    session = _session(args)
+    result = session.tune(
         space,
         objective=objective,
         driver=args.driver,
@@ -186,7 +246,37 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.table:
         print(format_tune_summary(result), file=sys.stderr)
         print(format_frontier_table(result), file=sys.stderr)
-    _emit(result.to_dict(), args.out)
+    payload = result.to_dict()
+    payload.update(_store_payload(session))
+    _emit(payload, args.out)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = _require_store(args)
+    if args.cache_command == "stats":
+        if args.table:
+            print(format_store_overview(store), file=sys.stderr)
+        _emit(store_overview(store), args.out)
+        return 0
+    if args.cache_command == "gc":
+        if args.max_records is None and args.max_age_days is None:
+            raise ReproError(
+                "cache gc needs an eviction bound: --max-records and/or "
+                "--max-age-days"
+            )
+        evicted = store.gc(
+            max_records=args.max_records,
+            max_age_seconds=(
+                args.max_age_days * 86400.0 if args.max_age_days is not None else None
+            ),
+        )
+        payload = {"evicted": evicted}
+        payload.update(store_overview(store))
+        _emit(payload, args.out)
+        return 0
+    # export (the parser restricts the choices, so this is the only branch left)
+    _emit(store.export(), args.out)
     return 0
 
 
@@ -206,6 +296,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_store_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store",
+            default=os.environ.get("REPRO_STORE"),
+            help="persistent experiment store directory (default: $REPRO_STORE); "
+            "repeated invocations hydrate from it and simulate nothing twice",
+        )
+
     def add_cell_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--task", default="nas", choices=VALID_TASKS)
         sub.add_argument("--dataset", default="cifar10", choices=VALID_DATASETS)
@@ -214,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--batch-size", type=int, default=256)
         sub.add_argument("--steps", type=int, default=10, help="simulated steps")
         sub.add_argument("--out", help="write JSON to this file instead of stdout")
+        add_store_argument(sub)
 
     run_parser = subparsers.add_parser("run", help="run one experiment cell")
     add_cell_arguments(run_parser)
@@ -229,7 +328,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--tasks", help="comma list")
     sweep_parser.add_argument("--strategies", help="comma list, e.g. DP,TR+DPU+AHD")
     sweep_parser.add_argument("--baseline", default="DP")
-    sweep_parser.add_argument("--parallel", action="store_true")
+    sweep_parser.add_argument(
+        "--parallel", action="store_true", help="shorthand for --backend thread"
+    )
+    sweep_parser.add_argument(
+        "--backend",
+        choices=BACKENDS.names(),
+        help="execution backend for sweep cells (default: inline)",
+    )
     sweep_parser.add_argument(
         "--table", action="store_true", help="also print a speedup table to stderr"
     )
@@ -259,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--table", action="store_true", help="also print the comparison table to stderr"
     )
     cluster_parser.add_argument("--out", help="write JSON to this file instead of stdout")
+    add_store_argument(cluster_parser)
     cluster_parser.set_defaults(handler=_cmd_cluster)
 
     from repro.tune.drivers import DRIVERS
@@ -306,7 +413,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--table", action="store_true", help="also print the frontier table to stderr"
     )
     tune_parser.add_argument("--out", help="write JSON to this file instead of stdout")
+    add_store_argument(tune_parser)
     tune_parser.set_defaults(handler=_cmd_tune)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect, prune or dump a persistent experiment store"
+    )
+    cache_subparsers = cache_parser.add_subparsers(
+        dest="cache_command", required=True
+    )
+    stats_parser = cache_subparsers.add_parser(
+        "stats", help="record counts, disk usage and warm/cold hit rates"
+    )
+    stats_parser.add_argument(
+        "--table", action="store_true", help="also print a summary table to stderr"
+    )
+    gc_parser = cache_subparsers.add_parser(
+        "gc", help="evict old / excess records and purge quarantined lines"
+    )
+    gc_parser.add_argument(
+        "--max-records", type=int, help="keep at most this many newest records"
+    )
+    gc_parser.add_argument(
+        "--max-age-days", type=float, help="drop records older than this many days"
+    )
+    export_parser = cache_subparsers.add_parser(
+        "export", help="dump every record as one JSON document"
+    )
+    for sub in (stats_parser, gc_parser, export_parser):
+        add_store_argument(sub)
+        sub.add_argument("--out", help="write JSON to this file instead of stdout")
+    cache_parser.set_defaults(handler=_cmd_cache)
 
     return parser
 

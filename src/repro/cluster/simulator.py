@@ -11,7 +11,12 @@ make thousand-job fleets cheap:
   per job;
 * the simulator memoises *epoch times* by ``(cell, strategy, steps)``: two
   jobs landing the same experiment cell on the same node type trigger one
-  discrete-event simulation, however many epochs each trains.
+  discrete-event simulation, however many epochs each trains;
+* when the session carries a persistent
+  :class:`~repro.store.store.ExperimentStore`, the epoch-time memo fills
+  from and writes through it (via ``Session.run``'s store path), so a
+  restarted fleet replay performs zero discrete-event simulations — check
+  ``session.stats.runs`` / ``session.stats.store_hits``.
 
 Determinism: workloads are seeded, the event loop breaks ties by insertion
 order, and policies see nodes in cluster order — the same workload under the
@@ -99,7 +104,12 @@ class ClusterSimulator:
 
     @property
     def simulations_run(self) -> int:
-        """Distinct discrete-event simulations triggered so far."""
+        """Distinct (cell, strategy, steps) epoch times resolved so far.
+
+        With a store-backed session some of these were hydrated from disk
+        rather than simulated; ``session.stats.runs`` counts true
+        simulations.
+        """
         return len(self._epoch_times)
 
     # ------------------------------------------------------------------ #

@@ -24,11 +24,24 @@ On top of the caches it exposes the whole public workflow:
   :class:`~repro.tune.space.TuneSpace` for the best candidate under an
   objective, reusing this session's caches across refinement rounds.
 
+Beyond the in-memory caches a session can be bound to two pluggable
+substrates:
+
+* ``store=`` — a persistent :class:`~repro.store.store.ExperimentStore`
+  (or a path to one).  :meth:`Session.run` hydrates results from the store
+  before simulating and writes every fresh simulation through it, so a
+  second identical sweep / tune / cluster replay — even in a brand-new
+  process — performs **zero** discrete-event simulations.
+* ``backend=`` — an execution backend (``"inline"``, ``"thread"``,
+  ``"process"`` or any :func:`~repro.store.backends.register_backend`
+  plugin) deciding where sweep cells execute.
+
 ``run_experiment`` / ``run_ablation`` in :mod:`repro.core.runner` remain as
 thin shims over a process-wide default session.
 
-Documented in ``docs/API.md`` (reference) and ``docs/ARCHITECTURE.md``
-(where the session sits in the layer map).
+Documented in ``docs/API.md`` (reference), ``docs/CACHING.md`` (store and
+backends) and ``docs/ARCHITECTURE.md`` (where the session sits in the
+layer map).
 """
 
 from __future__ import annotations
@@ -36,9 +49,9 @@ from __future__ import annotations
 import itertools
 import json
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.ablation import ABLATION_STRATEGIES, make_profile
 from repro.core.config import ExperimentConfig
@@ -49,6 +62,9 @@ from repro.models.pairs import DistillationPair
 from repro.parallel.executor import ExecutionResult, ScheduleExecutor
 from repro.parallel.profiler import ProfileTable
 from repro.parallel.registry import REGISTRY
+from repro.store.backends import ExecutionBackend, resolve_backend
+from repro.store.keys import run_key
+from repro.store.store import ExperimentStore, open_store
 
 PairKey = Tuple[str, str]
 ServerKey = Tuple[str, int]
@@ -131,10 +147,18 @@ class SessionStats:
     executor_hits: int = 0
     profile_builds: int = 0
     profile_hits: int = 0
+    #: Persistent-store traffic: ``store_builds`` counts simulations written
+    #: through the store (cold), ``store_hits`` counts results hydrated from
+    #: it without simulating (warm).
+    store_builds: int = 0
+    store_hits: int = 0
+    #: Discrete-event simulations actually performed, including those done
+    #: by ``process``-backend workers on this session's behalf (store hits
+    #: excluded).
     runs: int = 0
 
     #: Caches with paired build/hit counters, addressable via :meth:`hit_rate`.
-    CACHES = ("pair", "server", "dataset", "executor", "profile")
+    CACHES = ("pair", "server", "dataset", "executor", "profile", "store")
 
     def hit_rate(self, cache: str) -> float:
         """Hit fraction for one cache (``"pair"``, ``"profile"``, ...).
@@ -284,7 +308,11 @@ class Session:
         True
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        store: Union[ExperimentStore, str, Path, None] = None,
+        backend: Union[str, ExecutionBackend] = "inline",
+    ) -> None:
         self._pairs: Dict[PairKey, DistillationPair] = {}
         self._servers: Dict[ServerKey, ServerSpec] = {}
         self._datasets: Dict[str, DatasetSpec] = {}
@@ -292,6 +320,18 @@ class Session:
         self._profiles: Dict[ProfileKey, ProfileTable] = {}
         self._lock = threading.RLock()
         self.stats = SessionStats()
+        self._store = open_store(store)
+        self._backend = resolve_backend(backend)
+
+    @property
+    def store(self) -> Optional[ExperimentStore]:
+        """The persistent experiment store this session hydrates from, if any."""
+        return self._store
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend sweeps use unless overridden per call."""
+        return self._backend
 
     # ------------------------------------------------------------------ #
     # Cached materialisation
@@ -382,6 +422,14 @@ class Session:
         ``strategy`` overrides ``config.strategy``; ``profile`` overrides the
         session's cached profile table (it is not cached back).
 
+        With a persistent store attached, a previously simulated cell is
+        hydrated straight from disk (``stats.store_hits``) without building
+        a plan or touching the simulator; fresh simulations are written
+        through the store (``stats.store_builds``).  An explicit ``profile``
+        override bypasses the store entirely — a custom profile changes the
+        plan, so its result must be neither served from nor written to the
+        shared cache.
+
         Example:
             >>> from repro import ExperimentConfig, Session
             >>> config = ExperimentConfig(batch_size=128, simulated_steps=4)
@@ -390,6 +438,13 @@ class Session:
         """
         name = strategy if strategy is not None else config.strategy
         planner = REGISTRY.get(name)
+        use_store = self._store is not None and profile is None
+        if use_store:
+            cached = self._store.get("run", run_key(config, name))
+            if cached is not None:
+                with self._lock:
+                    self.stats.store_hits += 1
+                return ExecutionResult.from_dict(cached)
         if planner.requires_profile and profile is None:
             profile = self.profile(config)
         plan = planner.build(
@@ -402,7 +457,26 @@ class Session:
         result = self.executor(config).execute(plan)
         with self._lock:
             self.stats.runs += 1
+        if use_store:
+            self.put_run(config, name, result.to_dict())
         return result
+
+    # ------------------------------------------------------------------ #
+    # Store plumbing (used by run() and the execution backends)
+    # ------------------------------------------------------------------ #
+    def in_store(self, config: ExperimentConfig, strategy: str) -> bool:
+        """Whether the store already holds this (cell, strategy, steps) run."""
+        if self._store is None:
+            return False
+        return self._store.contains("run", run_key(config, strategy))
+
+    def put_run(self, config: ExperimentConfig, strategy: str, payload: dict) -> None:
+        """Write one run record through the store (no-op without a store)."""
+        if self._store is None:
+            return
+        self._store.put("run", run_key(config, strategy), payload)
+        with self._lock:
+            self.stats.store_builds += 1
 
     def ablation(
         self,
@@ -445,15 +519,19 @@ class Session:
         strategies: Optional[Sequence[str]] = None,
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        backend: Union[str, ExecutionBackend, None] = None,
     ) -> SweepResult:
         """Evaluate a strategy set over the grid of the given axes.
 
         Every axis defaults to the single value in ``base_config``; the grid
-        is the cartesian product of the provided axes.  With
-        ``parallel=True`` independent cells execute on a thread pool; the
-        session caches stay consistent (and each profile table is still
-        built exactly once) because cache fills are serialised by prewarming
-        before the pool starts.
+        is the cartesian product of the provided axes.  Cells execute on an
+        execution backend: ``backend=`` overrides per call, ``parallel=True``
+        is back-compat shorthand for the ``thread`` backend, and the session
+        default (``Session(backend=...)``) applies otherwise.  The thread
+        backend prewarms caches serially before its pool starts, so the
+        exactly-once profile guarantee holds; the ``process`` backend fans
+        cells out to worker interpreters sharing this session's on-disk
+        store.
 
         Example:
             >>> from repro import ExperimentConfig, Session
@@ -495,19 +573,24 @@ class Session:
             for values in itertools.product(*(axes[name] for name in names))
         ]
 
-        if parallel:
-            # Serial prewarm keeps the exactly-once cache guarantee trivially
-            # true; the pool then only runs the (pure) simulations.
-            for config in configs:
-                self.executor(config)
-                if any(REGISTRY.requires_profile(s) for s in strategy_set):
-                    self.profile(config)
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                cells = tuple(
-                    pool.map(lambda config: self.ablation(config, strategy_set), configs)
-                )
-        else:
-            cells = tuple(self.ablation(config, strategy_set) for config in configs)
+        chosen = self._sweep_backend(backend, parallel, max_workers)
+        tasks = [
+            (config, strategy) for config in configs for strategy in strategy_set
+        ]
+        results = chosen.run_cells(self, tasks)
+        if len(results) != len(tasks):
+            raise ConfigurationError(
+                f"backend {chosen.name!r} returned {len(results)} results for "
+                f"{len(tasks)} tasks"
+            )
+        cells_list: List[ExperimentSuiteResult] = []
+        flat = iter(results)
+        for config in configs:
+            suite = ExperimentSuiteResult(config=config)
+            for strategy in strategy_set:
+                suite.results[strategy] = next(flat)
+            cells_list.append(suite)
+        cells = tuple(cells_list)
 
         return SweepResult(
             base_config=base_config,
@@ -515,6 +598,31 @@ class Session:
             cells=cells,
             axes={name: values for name, values in axes.items() if len(values) > 1},
         )
+
+    def _sweep_backend(
+        self,
+        backend: Union[str, ExecutionBackend, None],
+        parallel: bool,
+        max_workers: Optional[int],
+    ) -> ExecutionBackend:
+        """Resolve the backend one sweep call should use.
+
+        Precedence: explicit ``backend=`` > ``parallel=True`` (thread
+        shorthand) > the session default.  ``max_workers`` specialises the
+        pool-based backends without mutating the registered singletons.
+        """
+        from repro.store.backends import ProcessBackend, ThreadBackend
+
+        if backend is None:
+            resolved = ThreadBackend() if parallel else self._backend
+        else:
+            resolved = resolve_backend(backend)
+        if max_workers is not None:
+            if resolved.name == "thread":
+                resolved = ThreadBackend(max_workers=max_workers)
+            elif resolved.name == "process":
+                resolved = ProcessBackend(max_workers=max_workers)
+        return resolved
 
     # ------------------------------------------------------------------ #
     # Autotuning

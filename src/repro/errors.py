@@ -27,3 +27,11 @@ class ShapeError(ReproError):
 
 class ClusterError(ReproError):
     """Raised when a cluster workload cannot be scheduled or is malformed."""
+
+
+class StoreError(ReproError):
+    """Raised when the persistent experiment store is unusable or misused."""
+
+
+class StoreSchemaError(StoreError):
+    """Raised when an on-disk store's schema version does not match the library."""

@@ -29,7 +29,7 @@ from repro.hardware.cost_model import CostModel
 from repro.hardware.server import ServerSpec
 from repro.models.layers import BYTES_PER_ELEMENT
 from repro.models.pairs import DistillationPair
-from repro.parallel.plan import SchedulePlan, StageAssignment
+from repro.parallel.plan import SchedulePlan, jsonable, plan_from_dict
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import TaskKind
 from repro.sim.metrics import BREAKDOWN_CATEGORIES, compute_breakdown
@@ -81,29 +81,61 @@ class ExecutionResult:
         )
 
     def to_dict(self) -> dict:
-        """JSON-serialisable summary (the trace is intentionally omitted)."""
+        """JSON-serialisable summary (the trace is intentionally omitted).
+
+        Carries the full plan and raw peak-memory bytes so
+        :meth:`from_dict` can rebuild an equivalent result — this is the
+        record shape the persistent experiment store shards hold.
+        """
         return {
             "strategy": self.strategy,
             "plan_kind": self.plan.kind,
+            "plan": self.plan.to_dict(),
             "batch_size": self.plan.batch_size,
             "num_devices": self.plan.num_devices,
             "epoch_time_s": self.epoch_time,
             "step_time_s": self.step_time,
             "steps_per_epoch": self.steps_per_epoch,
             "breakdown_s": {
-                str(device): dict(categories)
+                str(device): {name: categories[name] for name in sorted(categories)}
                 for device, categories in sorted(self.breakdown.items())
+            },
+            "peak_memory_bytes": {
+                str(device): bytes_
+                for device, bytes_ in sorted(self.peak_memory_bytes.items())
             },
             "peak_memory_gb": {
                 str(device): bytes_ / 1e9
                 for device, bytes_ in sorted(self.peak_memory_bytes.items())
             },
             "max_memory_gb": self.max_memory_gb(),
-            "metadata": {
-                key: list(value) if isinstance(value, tuple) else value
-                for key, value in self.metadata.items()
-            },
+            "metadata": jsonable(self.metadata),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExecutionResult":
+        """Rebuild a result from :meth:`to_dict` (store hydration path).
+
+        The trace is gone (it was never serialised), but every quantity the
+        analysis layer consumes — epoch/step time, breakdowns, peak memory,
+        the validated plan — round-trips exactly.
+        """
+        return cls(
+            plan=plan_from_dict(payload["plan"]),
+            epoch_time=payload["epoch_time_s"],
+            step_time=payload["step_time_s"],
+            steps_per_epoch=payload["steps_per_epoch"],
+            breakdown={
+                int(device): dict(categories)
+                for device, categories in payload["breakdown_s"].items()
+            },
+            peak_memory_bytes={
+                int(device): bytes_
+                for device, bytes_ in payload["peak_memory_bytes"].items()
+            },
+            trace=None,
+            metadata=payload.get("metadata", {}),
+        )
 
 
 class ScheduleExecutor:

@@ -207,3 +207,92 @@ class SchedulePlan:
     def _require_kind(self, kind: str) -> None:
         if self.kind != kind:
             raise ScheduleError(f"operation requires a {kind!r} plan, this is {self.kind!r}")
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (persistent experiment store, benchmark artifacts)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serialisable view; ``plan_from_dict`` round-trips it."""
+        return {
+            "kind": self.kind,
+            "strategy": self.strategy,
+            "batch_size": self.batch_size,
+            "num_devices": self.num_devices,
+            "num_blocks": self.num_blocks,
+            "decoupled_update": self.decoupled_update,
+            "stages": [
+                {
+                    "stage_id": stage.stage_id,
+                    "block_ids": list(stage.block_ids),
+                    "device_ids": list(stage.device_ids),
+                }
+                for stage in self.stages
+            ],
+            "device_blocks": (
+                {str(device): list(blocks) for device, blocks in self.device_blocks.items()}
+                if self.device_blocks is not None
+                else None
+            ),
+            "metadata": jsonable(self.metadata),
+        }
+
+
+def jsonable(value):
+    """Recursively convert tuples to lists (keys sorted) for JSON payloads.
+
+    Dict keys are emitted in sorted order so a payload serialises to the
+    same bytes whether it was just computed or hydrated from the store's
+    canonical (key-sorted) JSON lines.
+
+    Example:
+        >>> from repro.parallel.plan import jsonable
+        >>> jsonable({"split": (3, 5), "name": "ahd"})
+        {'name': 'ahd', 'split': [3, 5]}
+    """
+    if isinstance(value, dict):
+        return {
+            key: jsonable(value[key]) for key in sorted(value, key=str)
+        }
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    return value
+
+
+def plan_from_dict(payload: dict) -> SchedulePlan:
+    """Rebuild a validated :class:`SchedulePlan` from :meth:`SchedulePlan.to_dict`.
+
+    Validation runs again on the reconstructed plan, so a tampered or
+    truncated store record fails loudly instead of producing timings for a
+    plan that could never have been scheduled.
+
+    Example:
+        >>> from repro.parallel.plan import SchedulePlan, plan_from_dict
+        >>> plan = SchedulePlan(kind="data_parallel", strategy="DP",
+        ...                     batch_size=128, num_devices=4, num_blocks=5)
+        >>> plan_from_dict(plan.to_dict()) == plan
+        True
+    """
+    stages = tuple(
+        StageAssignment(
+            stage_id=stage["stage_id"],
+            block_ids=tuple(stage["block_ids"]),
+            device_ids=tuple(stage["device_ids"]),
+        )
+        for stage in payload.get("stages", [])
+    )
+    device_blocks = payload.get("device_blocks")
+    return SchedulePlan(
+        kind=payload["kind"],
+        strategy=payload["strategy"],
+        batch_size=payload["batch_size"],
+        num_devices=payload["num_devices"],
+        num_blocks=payload["num_blocks"],
+        decoupled_update=payload.get("decoupled_update", False),
+        stages=stages,
+        device_blocks=(
+            {int(device): tuple(blocks) for device, blocks in device_blocks.items()}
+            if device_blocks is not None
+            else None
+        ),
+        metadata=payload.get("metadata", {}),
+    )

@@ -1,0 +1,34 @@
+"""Persistent experiment store and pluggable execution backends.
+
+* :mod:`repro.store.store` — the content-addressed on-disk store
+  (:class:`ExperimentStore`): JSONL shards, atomic writes, schema
+  versioning with corruption quarantine, gc and export.
+* :mod:`repro.store.keys` — canonical key payloads and content hashing.
+* :mod:`repro.store.backends` — the ``inline`` / ``thread`` / ``process``
+  execution-backend registry, mirroring the strategy and placement
+  registries.
+
+See ``docs/CACHING.md`` for the full guide.
+"""
+
+from repro.store.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    register_backend,
+    resolve_backend,
+)
+from repro.store.keys import SCHEMA_VERSION, canonical_json, content_key
+from repro.store.store import ExperimentStore, StoreStats, open_store
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "ExperimentStore",
+    "SCHEMA_VERSION",
+    "StoreStats",
+    "canonical_json",
+    "content_key",
+    "open_store",
+    "register_backend",
+    "resolve_backend",
+]

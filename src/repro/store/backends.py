@@ -1,0 +1,229 @@
+"""Execution backends: *where* a batch of experiment cells runs.
+
+The strategy registry decides how a cell is scheduled and the placement
+registry decides where a job lands in a fleet; this registry completes the
+trio by deciding how the library itself executes a batch of (config,
+strategy) cells:
+
+* ``inline`` — serially on the calling thread (default, zero overhead);
+* ``thread`` — on a thread pool after a serial cache prewarm, preserving
+  the session's exactly-once profile guarantee;
+* ``process`` — on a process pool; workers are separate interpreters that
+  each open their own :class:`~repro.core.session.Session` against the
+  *same* on-disk store, so results flow back both through pickling and
+  through concurrent store appends.  This is the backend that exercises
+  multi-writer store semantics — and the template for remote executors.
+
+Register a custom backend exactly like a strategy or policy::
+
+    from repro.store.backends import register_backend
+
+    @register_backend
+    class SlurmBackend:
+        name = "slurm"
+
+        def run_cells(self, session, tasks):
+            ...submit, poll, hydrate from the shared store...
+
+    Session(backend="slurm")   # now valid everywhere
+
+Documented in ``docs/CACHING.md`` (backend selection guide).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.core.config import ExperimentConfig
+from repro.errors import ConfigurationError
+from repro.parallel.executor import ExecutionResult
+from repro.parallel.registry import REGISTRY
+from repro.registry import NamedRegistry, make_register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.session import Session
+
+#: One unit of backend work: run ``strategy`` on ``config``'s cell.
+CellTask = Tuple[ExperimentConfig, str]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """A pluggable executor for batches of experiment cells.
+
+    ``name`` is the registry key (the string accepted by ``Session(backend=...)``
+    and ``--backend``); :meth:`run_cells` must return one
+    :class:`~repro.parallel.executor.ExecutionResult` per task, in order.
+    """
+
+    name: str
+
+    def run_cells(
+        self, session: "Session", tasks: Sequence[CellTask]
+    ) -> List[ExecutionResult]:
+        """Execute every task and return results in task order."""
+        ...
+
+
+class BackendRegistry(NamedRegistry[ExecutionBackend]):
+    """Ordered name -> :class:`ExecutionBackend` mapping.
+
+    Example:
+        >>> from repro.store.backends import BACKENDS
+        >>> BACKENDS.names()
+        ('inline', 'thread', 'process')
+    """
+
+    kind = "backend"
+    kind_plural = "backends"
+
+    def validate(self, name: str, backend: ExecutionBackend) -> None:
+        if not callable(getattr(backend, "run_cells", None)):
+            raise ConfigurationError(
+                f"backend {name!r} must expose a callable 'run_cells'"
+            )
+
+
+#: The process-wide backend registry consulted by Session and the CLI.
+BACKENDS = BackendRegistry()
+
+#: Register a backend class or instance (usable as a decorator); see
+#: :func:`repro.registry.make_register`.
+register_backend = make_register(BACKENDS)
+
+
+def resolve_backend(backend) -> ExecutionBackend:
+    """Accept a backend by registry name or as a duck-typed instance."""
+    if isinstance(backend, str):
+        return BACKENDS.get(backend)
+    BACKENDS.validate(getattr(backend, "name", "<anonymous>"), backend)
+    return backend
+
+
+def _prewarm(session: "Session", tasks: Sequence[CellTask]) -> None:
+    """Serially materialise caches every *cold* task will need.
+
+    Store-warm tasks are skipped entirely: they will hydrate from disk
+    without ever touching the executor or profile caches, so prewarming
+    them would do work a warm restart exists to avoid.
+    """
+    by_config: Dict[ExperimentConfig, List[str]] = {}
+    for config, strategy in tasks:
+        by_config.setdefault(config, []).append(strategy)
+    for config, strategies in by_config.items():
+        cold = [s for s in strategies if not session.in_store(config, s)]
+        if not cold:
+            continue
+        session.executor(config)
+        if any(REGISTRY.requires_profile(strategy) for strategy in cold):
+            session.profile(config)
+
+
+@register_backend
+class InlineBackend:
+    """Serial execution on the calling thread (the default backend)."""
+
+    name = "inline"
+
+    def run_cells(self, session, tasks):
+        return [session.run(config, strategy=strategy) for config, strategy in tasks]
+
+
+@register_backend
+class ThreadBackend:
+    """Thread-pool execution after a serial cache prewarm.
+
+    The prewarm keeps the session's exactly-once guarantees trivially true
+    (cache fills happen before the pool starts); the pool then only runs
+    the pure simulations.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+
+    def run_cells(self, session, tasks):
+        _prewarm(session, tasks)
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(
+                pool.map(
+                    lambda task: session.run(task[0], strategy=task[1]), tasks
+                )
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Process backend: separate interpreters sharing one on-disk store
+# ---------------------------------------------------------------------- #
+#: Per-worker-process session cache, keyed by store path (or None).
+_WORKER_SESSIONS: Dict[Optional[str], "Session"] = {}
+
+
+def _worker_session(store_path: Optional[str]) -> "Session":
+    from repro.core.session import Session
+
+    if store_path not in _WORKER_SESSIONS:
+        _WORKER_SESSIONS[store_path] = Session(store=store_path)
+    return _WORKER_SESSIONS[store_path]
+
+
+def _process_worker(payload: Tuple[dict, str, Optional[str]]) -> Tuple[dict, bool]:
+    """Run one cell in a worker process; returns (result dict, simulated?).
+
+    The worker's session writes through the shared store (when one is
+    configured), so results survive even if the parent dies before
+    unpickling — and concurrent workers exercise multi-writer appends.
+    The ``simulated`` flag lets the parent fold the worker's work into its
+    own counters, keeping warm/cold reporting honest across processes.
+    """
+    config_dict, strategy, store_path = payload
+    session = _worker_session(store_path)
+    runs_before = session.stats.runs
+    result = session.run(ExperimentConfig(**config_dict), strategy=strategy)
+    return result.to_dict(), session.stats.runs > runs_before
+
+
+@register_backend
+class ProcessBackend:
+    """Process-pool execution; workers share the session's on-disk store.
+
+    Each worker opens its own session (sessions hold locks and are not
+    picklable) against the same store path, runs its cells, and persists
+    results before returning them.  After the pool drains, the parent
+    refreshes its store index so the workers' appends are visible, then
+    back-fills any record that is still missing (store-less sessions).
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+
+    def run_cells(self, session, tasks):
+        store = session.store
+        store_path = str(store.root) if store is not None else None
+        payloads = [
+            (config.to_dict(), strategy, store_path) for config, strategy in tasks
+        ]
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            raw = list(pool.map(_process_worker, payloads))
+        if store is not None:
+            store.refresh()
+        results = []
+        for (config, strategy), (result_dict, simulated) in zip(tasks, raw):
+            # Fold the workers' work into the parent's counters so warm/cold
+            # reporting stays honest: a cold process-backend sweep must not
+            # look like a warm restart.
+            if simulated:
+                session.stats.runs += 1
+                if store is not None:
+                    if session.in_store(config, strategy):
+                        session.stats.store_builds += 1  # the worker wrote it
+                    else:
+                        session.put_run(config, strategy, result_dict)
+            else:
+                session.stats.store_hits += 1
+            results.append(ExecutionResult.from_dict(result_dict))
+        return results

@@ -36,7 +36,7 @@ from repro.errors import ConfigurationError
 from repro.registry import NamedRegistry, make_register
 from repro.tune.evaluator import TuneEvaluator
 from repro.tune.objective import TuneMeasurement
-from repro.tune.space import TunePoint, TuneSpace
+from repro.tune.space import TuneSpace
 
 #: Lowest simulation fidelity a driver may use (the executor's minimum).
 MIN_FIDELITY_STEPS = 4

@@ -20,6 +20,13 @@ reuse:
   :class:`~repro.cluster.simulator.ClusterSimulator` whose epoch-time memo is
   shared across *all* probes of a search, so policies replay the fleet
   without new discrete-event simulations.
+
+When the wrapped session carries a persistent
+:class:`~repro.store.store.ExperimentStore`, every fidelity additionally
+hydrates from and writes through it — estimates and fleet probes under
+their own record kinds, simulations via ``Session.run``'s store path — so
+a *restarted* tune against the same store performs zero simulations
+(``EvaluatorStats.store_hydrations`` counts the replays).
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from repro.cluster.simulator import ClusterSimulator, EpochKey
-from repro.cluster.spec import ClusterSpec, default_cluster
+from repro.cluster.spec import default_cluster
 from repro.cluster.workload import JobSpec, Workload
 from repro.core.config import ExperimentConfig
 from repro.core.session import Session
@@ -38,6 +45,7 @@ from repro.models.layers import BYTES_PER_ELEMENT
 from repro.parallel.estimator import StageTimeEstimator
 from repro.parallel.plan import SchedulePlan
 from repro.parallel.registry import REGISTRY
+from repro.store.keys import estimate_key, throughput_key
 from repro.tune.objective import TuneMeasurement, cost_per_epoch
 from repro.tune.space import TunePoint
 
@@ -59,6 +67,9 @@ class EvaluatorStats:
     simulation_hits: int = 0
     cluster_probes: int = 0
     cluster_probe_hits: int = 0
+    #: Results served from the session's persistent store instead of being
+    #: recomputed (estimates, simulations and fleet probes combined).
+    store_hydrations: int = 0
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)
@@ -103,11 +114,30 @@ class TuneEvaluator:
     # Fidelity 0: analytic estimate (no discrete-event simulation)
     # ------------------------------------------------------------------ #
     def estimate(self, point: TunePoint) -> TuneMeasurement:
-        """Analytic epoch-time estimate; builds the plan but never simulates."""
+        """Analytic epoch-time estimate; builds the plan but never simulates.
+
+        Estimates are memoised in this evaluator and — when the session has
+        a persistent store — hydrated from / written through it, so a
+        restarted tuning run re-derives no analytic model either.
+        """
         key = point.cell_signature()
         if key in self._estimates:
             self.stats.estimate_hits += 1
             return replace(self._estimates[key], point=point)
+        store = self.session.store
+        if store is not None:
+            stored = store.get("estimate", estimate_key(key))
+            if stored is not None:
+                measurement = TuneMeasurement(
+                    point=point,
+                    epoch_time=stored["epoch_time_s"],
+                    cost=stored["cost_usd_per_epoch"],
+                    fidelity="estimate",
+                    simulated_steps=0,
+                )
+                self._estimates[key] = measurement
+                self.stats.store_hydrations += 1
+                return measurement
         config = point.config(self.simulated_steps)
         session = self.session
         pair = session.pair(config)
@@ -137,6 +167,15 @@ class TuneEvaluator:
         )
         self._estimates[key] = measurement
         self.stats.estimates += 1
+        if store is not None:
+            store.put(
+                "estimate",
+                estimate_key(key),
+                {
+                    "epoch_time_s": measurement.epoch_time,
+                    "cost_usd_per_epoch": measurement.cost,
+                },
+            )
         return measurement
 
     @staticmethod
@@ -232,6 +271,7 @@ class TuneEvaluator:
         if key in self._measurements:
             self.stats.simulation_hits += 1
             return replace(self._measurements[key], point=point)
+        runs_before = self.session.stats.runs
         result = self.session.run(point.config(steps))
         measurement = TuneMeasurement(
             point=point,
@@ -242,7 +282,12 @@ class TuneEvaluator:
             max_memory_gb=result.max_memory_gb(),
         )
         self._measurements[key] = measurement
-        self.stats.simulations += 1
+        # A store-hydrated result is not a fresh discrete-event simulation;
+        # tell them apart so budget accounting stays honest across restarts.
+        if self.session.stats.runs > runs_before:
+            self.stats.simulations += 1
+        else:
+            self.stats.store_hydrations += 1
         return measurement
 
     # ------------------------------------------------------------------ #
@@ -268,6 +313,20 @@ class TuneEvaluator:
         if key in self._throughputs:
             self.stats.cluster_probe_hits += 1
             return self._throughputs[key]
+        store = self.session.store
+        store_key = throughput_key(
+            point.cell_signature(),
+            steps,
+            self.throughput_jobs,
+            point.policy,
+            cluster.to_dict(),
+        )
+        if store is not None:
+            stored = store.get("throughput", store_key)
+            if stored is not None:
+                self._throughputs[key] = stored["jobs_per_hour"]
+                self.stats.store_hydrations += 1
+                return stored["jobs_per_hour"]
         jobs = tuple(
             JobSpec(
                 job_id=f"tune-{index:03d}",
@@ -292,6 +351,10 @@ class TuneEvaluator:
         report = simulator.run(workload)
         self._throughputs[key] = report.jobs_per_hour
         self.stats.cluster_probes += 1
+        if store is not None:
+            store.put(
+                "throughput", store_key, {"jobs_per_hour": report.jobs_per_hour}
+            )
         return report.jobs_per_hour
 
     # ------------------------------------------------------------------ #

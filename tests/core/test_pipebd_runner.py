@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import ExperimentConfig
 from repro.core.pipebd import PipeBD
 from repro.core.reporting import (
     TABLE2_HEADERS,

@@ -8,7 +8,6 @@ from repro.distill.nn import (
     AvgPool2d,
     BatchNorm2d,
     Conv2d,
-    DepthwiseConv2d,
     Flatten,
     GlobalAvgPool,
     Linear,

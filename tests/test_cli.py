@@ -299,3 +299,129 @@ class TestParser:
         )
         assert code == 2
         assert "unknown placement policy" in captured.err
+
+
+class TestStoreFlag:
+    def test_sweep_twice_hydrates_from_store(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        argv = (
+            "sweep",
+            "--batch-sizes",
+            "128,256",
+            "--strategies",
+            "DP,TR",
+            "--steps",
+            "4",
+            "--store",
+            store,
+        )
+        code, captured = run_cli(capsys, *argv)
+        assert code == 0
+        cold = json.loads(captured.out)
+        assert cold["warm_cold"]["simulations"] == 4
+        assert cold["warm_cold"]["warm_fraction"] == 0.0
+
+        code, captured = run_cli(capsys, *argv)
+        assert code == 0
+        warm = json.loads(captured.out)
+        assert warm["warm_cold"]["simulations"] == 0
+        assert warm["warm_cold"]["warm_fraction"] == 1.0
+        assert warm["cells"] == cold["cells"]
+
+    def test_run_payload_embeds_store_summary(self, capsys, tmp_path):
+        code, captured = run_cli(
+            capsys,
+            "run",
+            "--strategy",
+            "DP",
+            "--steps",
+            "4",
+            "--store",
+            str(tmp_path / "store"),
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["store"]["shards"] == 1
+        assert payload["store"]["disk_bytes"] > 0
+
+    def test_repro_store_env_is_default(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envstore"))
+        code, captured = run_cli(capsys, "run", "--strategy", "DP", "--steps", "4")
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["warm_cold"]["has_store"] is True
+        assert (tmp_path / "envstore" / "meta.json").exists()
+
+    def test_backend_flag_accepted(self, capsys, tmp_path):
+        code, captured = run_cli(
+            capsys,
+            "sweep",
+            "--batch-sizes",
+            "128,256",
+            "--strategies",
+            "DP",
+            "--steps",
+            "4",
+            "--backend",
+            "thread",
+        )
+        assert code == 0
+        assert len(json.loads(captured.out)["cells"]) == 2
+
+
+class TestCache:
+    def _populate(self, capsys, store):
+        code, _ = run_cli(
+            capsys, "run", "--strategy", "DP", "--steps", "4", "--store", store
+        )
+        assert code == 0
+
+    def test_cache_stats(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        self._populate(capsys, store)
+        code, captured = run_cli(capsys, "cache", "stats", "--store", store, "--table")
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["stats"]["records"] == 1
+        assert "Experiment store" in captured.err
+
+    def test_cache_gc(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        self._populate(capsys, store)
+        code, captured = run_cli(
+            capsys, "cache", "gc", "--store", store, "--max-records", "0"
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["evicted"] == 1
+        assert payload["stats"]["records"] == 0
+
+    def test_cache_gc_needs_a_bound(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        self._populate(capsys, store)
+        code, captured = run_cli(capsys, "cache", "gc", "--store", store)
+        assert code == 2
+        assert "eviction bound" in captured.err
+
+    def test_cache_export(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        self._populate(capsys, store)
+        code, captured = run_cli(capsys, "cache", "export", "--store", store)
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["num_records"] == 1
+        assert payload["records"][0]["kind"] == "run"
+
+    def test_cache_without_store_is_reported(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        code, captured = run_cli(capsys, "cache", "stats")
+        assert code == 2
+        assert "REPRO_STORE" in captured.err
+
+    def test_cache_stats_refuses_to_create_a_store(self, capsys, tmp_path):
+        missing = str(tmp_path / "resuls")  # typo'd path
+        code, captured = run_cli(capsys, "cache", "stats", "--store", missing)
+        assert code == 2
+        assert "no experiment store" in captured.err
+        # Crucially, the typo'd path was not materialised.
+        assert not (tmp_path / "resuls").exists()
