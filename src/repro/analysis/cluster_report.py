@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.reporting import format_seconds, format_table
 from repro.errors import ConfigurationError
@@ -20,7 +20,17 @@ from repro.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class JobRecord:
-    """One completed job: where it ran and when."""
+    """One completed job: where it ran, when, and what faults cost it.
+
+    The reliability fields default to "nothing happened": ``preemptions``
+    counts fault-driven interruptions, ``gpu_seconds`` the actual GPU-time
+    occupied across every attempt (``None`` means the fault-free
+    ``gpus * service_time``), ``wasted_gpu_seconds`` the slice destroyed by
+    lost work and recovery overheads, ``recovery_seconds`` the total time
+    spent between an eviction and the next start, and ``final_gpus`` the
+    gang size the job *finished* on (elastic ``shrink`` makes it smaller
+    than ``gpus``).
+    """
 
     job_id: str
     node: str
@@ -30,6 +40,11 @@ class JobRecord:
     arrival_time: float
     start_time: float
     finish_time: float
+    preemptions: int = 0
+    gpu_seconds: Optional[float] = None
+    wasted_gpu_seconds: float = 0.0
+    recovery_seconds: float = 0.0
+    final_gpus: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.start_time < self.arrival_time:
@@ -40,16 +55,36 @@ class JobRecord:
             raise ConfigurationError(
                 f"job {self.job_id!r} finished before it started"
             )
+        if self.preemptions < 0:
+            raise ConfigurationError(
+                f"job {self.job_id!r} has a negative preemption count"
+            )
+        if self.wasted_gpu_seconds < 0 or self.recovery_seconds < 0:
+            raise ConfigurationError(
+                f"job {self.job_id!r} has negative reliability accounting"
+            )
 
     @property
     def wait_time(self) -> float:
-        """Seconds spent queued before the gang was placed."""
+        """Seconds spent queued before the gang was first placed."""
         return self.start_time - self.arrival_time
 
     @property
     def service_time(self) -> float:
-        """Seconds of execution once placed."""
+        """Seconds from first placement to completion (recovery included)."""
         return self.finish_time - self.start_time
+
+    @property
+    def effective_gpu_seconds(self) -> float:
+        """GPU-seconds actually occupied (fault-free runs derive it)."""
+        if self.gpu_seconds is not None:
+            return self.gpu_seconds
+        return self.gpus * self.service_time
+
+    @property
+    def useful_gpu_seconds(self) -> float:
+        """Occupied GPU-seconds minus the slice faults destroyed."""
+        return max(0.0, self.effective_gpu_seconds - self.wasted_gpu_seconds)
 
     def to_dict(self) -> dict:
         return {
@@ -63,10 +98,22 @@ class JobRecord:
             "finish_time": self.finish_time,
             "wait_time": self.wait_time,
             "service_time": self.service_time,
+            "preemptions": self.preemptions,
+            # Coerced to float so a fresh report and its JSON round-trip
+            # render byte-identically even when a counter happens to be an
+            # exact integer sum.
+            "gpu_seconds": (
+                float(self.gpu_seconds) if self.gpu_seconds is not None else None
+            ),
+            "wasted_gpu_seconds": float(self.wasted_gpu_seconds),
+            "recovery_seconds": float(self.recovery_seconds),
+            "final_gpus": self.final_gpus,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JobRecord":
+        gpu_seconds = payload.get("gpu_seconds")
+        final_gpus = payload.get("final_gpus")
         return cls(
             job_id=payload["job_id"],
             node=payload["node"],
@@ -76,6 +123,11 @@ class JobRecord:
             arrival_time=float(payload["arrival_time"]),
             start_time=float(payload["start_time"]),
             finish_time=float(payload["finish_time"]),
+            preemptions=int(payload.get("preemptions", 0)),
+            gpu_seconds=(float(gpu_seconds) if gpu_seconds is not None else None),
+            wasted_gpu_seconds=float(payload.get("wasted_gpu_seconds", 0.0)),
+            recovery_seconds=float(payload.get("recovery_seconds", 0.0)),
+            final_gpus=(int(final_gpus) if final_gpus is not None else None),
         )
 
 
@@ -94,13 +146,29 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class ClusterReport:
-    """Aggregated outcome of serving one workload under one policy."""
+    """Aggregated outcome of serving one workload under one policy.
+
+    The reliability fields are only populated by fault-injected runs:
+    ``fault_events`` is the injected trace (as dicts), ``recoveries`` one
+    duration per eviction-to-restart gap (feeding the p95), ``killed`` one
+    dict per job the degraded fleet could never host again, and
+    ``elastic_policy`` the recovery policy that handled evictions.
+    """
 
     policy: str
     cluster_name: str
     workload_name: str
     node_gpus: Dict[str, int] = field(default_factory=dict)
     records: Tuple[JobRecord, ...] = ()
+    fault_events: Tuple[dict, ...] = ()
+    fault_trace_name: Optional[str] = None
+    elastic_policy: Optional[str] = None
+    recoveries: Tuple[float, ...] = ()
+    killed: Tuple[dict, ...] = ()
+    #: Exact per-node GPU-seconds occupied, populated by fault runs where a
+    #: job's attempts may span several nodes (restart/migrate); empty for
+    #: fault-free runs, whose records are single-node by construction.
+    node_busy_gpu_seconds: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Scalar metrics
@@ -146,7 +214,7 @@ class ClusterReport:
         makespan = self.makespan
         if makespan <= 0 or self.total_gpus == 0:
             return 0.0
-        busy = sum(record.gpus * record.service_time for record in self.records)
+        busy = sum(record.effective_gpu_seconds for record in self.records)
         return busy / (self.total_gpus * makespan)
 
     @property
@@ -157,14 +225,91 @@ class ClusterReport:
         return self.num_jobs / makespan * 3600.0
 
     # ------------------------------------------------------------------ #
+    # Reliability analytics (all zero / empty for fault-free runs)
+    # ------------------------------------------------------------------ #
+    @property
+    def faults_injected(self) -> int:
+        """How many fault events the run replayed."""
+        return len(self.fault_events)
+
+    @property
+    def jobs_killed(self) -> int:
+        """Jobs the degraded fleet could never host again."""
+        return len(self.killed)
+
+    @property
+    def interruptions(self) -> int:
+        """Fault-driven evictions across completed *and* killed jobs."""
+        completed = sum(record.preemptions for record in self.records)
+        lost = sum(int(entry.get("preemptions", 0)) for entry in self.killed)
+        return completed + lost
+
+    @property
+    def wasted_gpu_hours(self) -> float:
+        """GPU-hours destroyed by lost work, overheads and killed jobs."""
+        wasted = sum(record.wasted_gpu_seconds for record in self.records)
+        # A killed job's entire occupancy was wasted — it never finished.
+        wasted += sum(float(entry.get("gpu_seconds", 0.0)) for entry in self.killed)
+        return wasted / 3600.0
+
+    @property
+    def recovery_p95(self) -> float:
+        """95th-percentile eviction-to-restart gap in seconds."""
+        if not self.recoveries:
+            return 0.0
+        return percentile(list(self.recoveries), 95)
+
+    @property
+    def goodput(self) -> float:
+        """Useful (non-wasted) GPU-seconds over fleet GPU-seconds.
+
+        Equals :attr:`gpu_utilization` for fault-free runs; under faults
+        the gap between the two is exactly the fleet's recovery tax.
+        """
+        makespan = self.makespan
+        if makespan <= 0 or self.total_gpus == 0:
+            return 0.0
+        useful = sum(record.useful_gpu_seconds for record in self.records)
+        return useful / (self.total_gpus * makespan)
+
+    @property
+    def goodput_jobs_per_hour(self) -> float:
+        """Completed-job throughput, discounted by the wasted-work share.
+
+        The tune objective ``goodput_under_faults`` maximises this: it
+        rewards finishing jobs fast *and* not burning GPU-hours on work a
+        fault destroys.
+        """
+        makespan = self.makespan
+        if makespan <= 0:
+            return 0.0
+        occupied = sum(record.effective_gpu_seconds for record in self.records)
+        occupied += sum(float(entry.get("gpu_seconds", 0.0)) for entry in self.killed)
+        if occupied <= 0:
+            return self.jobs_per_hour
+        useful = sum(record.useful_gpu_seconds for record in self.records)
+        return self.jobs_per_hour * (useful / occupied)
+
+    # ------------------------------------------------------------------ #
     # Per-dimension breakdowns
     # ------------------------------------------------------------------ #
     def per_node_utilization(self) -> Dict[str, float]:
-        """Busy fraction of every node's GPUs over the makespan."""
+        """Busy fraction of every node's GPUs over the makespan.
+
+        Fault runs provide exact per-node occupancy via
+        ``node_busy_gpu_seconds`` (a restarted or migrated job occupies
+        several nodes across its attempts); fault-free runs derive it from
+        the records, whose single attempt ran entirely on ``record.node``.
+        """
         makespan = self.makespan
         busy: Dict[str, float] = {node: 0.0 for node in self.node_gpus}
-        for record in self.records:
-            busy[record.node] = busy.get(record.node, 0.0) + record.gpus * record.service_time
+        if self.node_busy_gpu_seconds:
+            busy.update(self.node_busy_gpu_seconds)
+        else:
+            for record in self.records:
+                busy[record.node] = (
+                    busy.get(record.node, 0.0) + record.effective_gpu_seconds
+                )
         return {
             node: (busy.get(node, 0.0) / (gpus * makespan) if makespan > 0 else 0.0)
             for node, gpus in self.node_gpus.items()
@@ -203,6 +348,14 @@ class ClusterReport:
             "mean_service_s": self.mean_service,
             "gpu_utilization": self.gpu_utilization,
             "jobs_per_hour": self.jobs_per_hour,
+            "faults_injected": self.faults_injected,
+            "jobs_killed": self.jobs_killed,
+            "interruptions": self.interruptions,
+            "wasted_gpu_hours": self.wasted_gpu_hours,
+            "recovery_p95_s": self.recovery_p95,
+            "goodput": self.goodput,
+            "goodput_jobs_per_hour": self.goodput_jobs_per_hour,
+            "elastic_policy": self.elastic_policy,
         }
 
     def to_dict(self) -> dict:
@@ -210,6 +363,14 @@ class ClusterReport:
         payload["node_gpus"] = dict(self.node_gpus)
         payload["per_node_utilization"] = self.per_node_utilization()
         payload["records"] = [record.to_dict() for record in self.records]
+        payload["fault_trace"] = self.fault_trace_name
+        payload["fault_events"] = [dict(event) for event in self.fault_events]
+        payload["recoveries"] = list(self.recoveries)
+        payload["killed"] = [dict(entry) for entry in self.killed]
+        payload["node_busy_gpu_seconds"] = {
+            node: float(seconds)
+            for node, seconds in self.node_busy_gpu_seconds.items()
+        }
         return payload
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -225,6 +386,17 @@ class ClusterReport:
             records=tuple(
                 JobRecord.from_dict(record) for record in payload.get("records", ())
             ),
+            fault_events=tuple(
+                dict(event) for event in payload.get("fault_events", ())
+            ),
+            fault_trace_name=payload.get("fault_trace"),
+            elastic_policy=payload.get("elastic_policy"),
+            recoveries=tuple(float(r) for r in payload.get("recoveries", ())),
+            killed=tuple(dict(entry) for entry in payload.get("killed", ())),
+            node_busy_gpu_seconds={
+                node: float(seconds)
+                for node, seconds in payload.get("node_busy_gpu_seconds", {}).items()
+            },
         )
 
 
@@ -242,6 +414,19 @@ def format_cluster_report(report: ClusterReport) -> str:
         f"  GPU util      : {report.gpu_utilization * 100:.1f}%",
         f"  throughput    : {report.jobs_per_hour:.1f} jobs/hour",
     ]
+    if report.faults_injected:
+        lines.extend(
+            [
+                f"  faults        : {report.faults_injected} events "
+                f"({report.fault_trace_name}), elastic={report.elastic_policy}",
+                f"  interruptions : {report.interruptions} "
+                f"({report.jobs_killed} jobs killed)",
+                f"  goodput       : {report.goodput * 100:.1f}% "
+                f"({report.goodput_jobs_per_hour:.1f} useful jobs/hour)",
+                f"  wasted        : {report.wasted_gpu_hours:.2f} GPU-hours",
+                f"  recovery p95  : {format_seconds(report.recovery_p95)}",
+            ]
+        )
     utilization = report.per_node_utilization()
     jobs = report.per_node_jobs()
     node_rows = [
@@ -260,8 +445,10 @@ def compare_policies(reports: Mapping[str, ClusterReport] | Sequence[ClusterRepo
         ordered = list(reports)
     if not ordered:
         raise ConfigurationError("no reports to compare")
-    rows = [
-        [
+    has_faults = any(report.faults_injected for report in ordered)
+    rows = []
+    for report in ordered:
+        row = [
             report.policy,
             format_seconds(report.makespan),
             format_seconds(report.mean_wait),
@@ -269,9 +456,18 @@ def compare_policies(reports: Mapping[str, ClusterReport] | Sequence[ClusterRepo
             f"{report.gpu_utilization * 100:.1f}%",
             f"{report.jobs_per_hour:.1f}",
         ]
-        for report in ordered
-    ]
+        if has_faults:
+            row.extend(
+                [
+                    f"{report.goodput * 100:.1f}%",
+                    str(report.jobs_killed),
+                    format_seconds(report.recovery_p95),
+                ]
+            )
+        rows.append(row)
     headers = ["policy", "makespan", "mean wait", "p95 wait", "gpu util", "jobs/h"]
+    if has_faults:
+        headers.extend(["goodput", "killed", "rec p95"])
     title = (
         f"{ordered[0].num_jobs} jobs on {ordered[0].cluster_name} "
         f"({ordered[0].workload_name})"

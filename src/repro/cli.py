@@ -6,7 +6,9 @@ Five subcommands mirror the five levels of the system:
 * ``sweep`` — a grid over batch sizes / GPU counts / datasets / servers /
   tasks / strategies through :meth:`Session.sweep`,
 * ``cluster`` — a multi-job workload gang-scheduled onto a fleet under one
-  or all placement policies,
+  or all placement policies; ``--faults`` / ``--fault-trace`` inject a
+  seeded failure scenario (crashes, preemptions, stragglers) and
+  ``--elastic`` picks the recovery policy (restart / shrink / migrate),
 * ``tune`` — autotune strategy x batch x GPU count x server (and placement
   policy, for throughput objectives) under a simulation budget, emitting a
   Pareto frontier,
@@ -45,6 +47,8 @@ from repro.analysis.store_report import (
     warm_cold_summary,
 )
 from repro.analysis.sweep import format_sweep_table
+from repro.cluster.elastic import ELASTIC_POLICIES
+from repro.cluster.faults import FAULT_PRESETS, FaultTrace, parse_fault_spec
 from repro.cluster.scheduler import POLICIES
 from repro.cluster.spec import cluster_from_shorthand, default_cluster
 from repro.cluster.simulator import run_policy_comparison
@@ -172,12 +176,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace(path: str, loader, what: str):
+    """Load a JSON trace file, folding every failure mode into ReproError."""
+    try:
+        return loader(path)
+    except ReproError:
+        raise
+    except OSError as error:
+        raise ReproError(f"cannot read {what} {path!r}: {error}") from error
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        raise ReproError(
+            f"malformed {what} {path!r}: {error}; expected the JSON shape "
+            "written by save()"
+        ) from error
+
+
+def _resolve_cli_faults(args: argparse.Namespace):
+    """Coerce --faults / --fault-trace into a fault source (or None)."""
+    if args.faults and args.fault_trace:
+        raise ReproError(
+            "--faults and --fault-trace are mutually exclusive; pass a "
+            "generator spec or a concrete trace, not both"
+        )
+    if args.fault_trace:
+        return _load_trace(args.fault_trace, FaultTrace.load, "fault trace")
+    if args.faults:
+        return parse_fault_spec(args.faults)
+    return None
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     cluster = (
         cluster_from_shorthand(args.nodes) if args.nodes else default_cluster()
     )
     if args.workload:
-        workload = Workload.load(args.workload)
+        workload = _load_trace(args.workload, Workload.load, "workload trace")
     else:
         workload = arrival_process(
             args.arrival,
@@ -192,9 +225,18 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         workload.save(args.save_workload)
         print(f"wrote {args.save_workload}", file=sys.stderr)
 
+    faults = _resolve_cli_faults(args)
     policies = tuple(POLICIES.names()) if args.policy == "all" else (args.policy,)
     session = _session(args)
-    reports = run_policy_comparison(cluster, workload, policies=policies, session=session)
+    reports = run_policy_comparison(
+        cluster,
+        workload,
+        policies=policies,
+        session=session,
+        faults=faults,
+        elastic=args.elastic,
+        fault_seed=args.fault_seed,
+    )
     if args.table:
         print(compare_policies(reports), file=sys.stderr)
     payload = {
@@ -202,6 +244,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         "workload": workload.name,
         "reports": {name: report.to_dict() for name, report in reports.items()},
     }
+    if faults is not None:
+        payload["faults"] = {
+            "spec": (
+                {"trace": faults.name}
+                if isinstance(faults, FaultTrace)
+                else faults.to_dict()
+            ),
+            "elastic": args.elastic,
+            "seed": args.fault_seed,
+        }
     payload.update(_store_payload(session))
     _emit(payload, args.out)
     return 0
@@ -242,6 +294,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         budget=args.budget,
         seed=args.seed,
         simulated_steps=args.steps,
+        faults=_resolve_cli_faults(args),
+        elastic=args.elastic,
+        fault_seed=args.fault_seed,
     )
     if args.table:
         print(format_tune_summary(result), file=sys.stderr)
@@ -304,6 +359,26 @@ def build_parser() -> argparse.ArgumentParser:
             "repeated invocations hydrate from it and simulate nothing twice",
         )
 
+    def add_fault_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--faults",
+            help="inject faults: a preset "
+            f"({', '.join(sorted(FAULT_PRESETS))}) or 'kind:rate[,...]' with "
+            "kind in crash/preempt/straggler (rates in events/sec)",
+        )
+        sub.add_argument(
+            "--fault-trace", help="replay a JSON fault trace instead of generating"
+        )
+        sub.add_argument(
+            "--elastic",
+            default="restart",
+            help="elastic recovery policy for evicted gangs "
+            f"({', '.join(ELASTIC_POLICIES.names())})",
+        )
+        sub.add_argument(
+            "--fault-seed", type=int, default=0, help="seed for fault generation"
+        )
+
     def add_cell_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--task", default="nas", choices=VALID_TASKS)
         sub.add_argument("--dataset", default="cifar10", choices=VALID_DATASETS)
@@ -361,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--seed", type=int, default=0)
     cluster_parser.add_argument("--workload", help="replay a JSON workload trace")
     cluster_parser.add_argument("--save-workload", help="save the generated workload")
+    add_fault_arguments(cluster_parser)
     cluster_parser.add_argument(
         "--table", action="store_true", help="also print the comparison table to stderr"
     )
@@ -409,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         help="epoch-time deadline in seconds (cost objective only)",
     )
+    add_fault_arguments(tune_parser)
     tune_parser.add_argument(
         "--table", action="store_true", help="also print the frontier table to stderr"
     )

@@ -5,12 +5,32 @@ the queueing layer above it — heterogeneous fleets (:mod:`~repro.cluster.spec`
 deterministic multi-job workload generation and trace replay
 (:mod:`~repro.cluster.workload`), pluggable gang-placement policies
 (:mod:`~repro.cluster.scheduler`) and the event-driven fleet simulator
-(:mod:`~repro.cluster.simulator`).  Fleet-level analytics live in
-:mod:`repro.analysis.cluster_report`.
+(:mod:`~repro.cluster.simulator`).  Faults and elasticity ride on top:
+seeded fault models, JSON fault-trace replay and the checkpoint/restart
+cost model (:mod:`~repro.cluster.faults`) plus pluggable elastic
+rescheduling policies (:mod:`~repro.cluster.elastic`).  Fleet-level
+analytics live in :mod:`repro.analysis.cluster_report`.
 
-Documented in ``docs/API.md`` (cluster layer) and ``docs/ARCHITECTURE.md``.
+Documented in ``docs/API.md`` (cluster layer), ``docs/ARCHITECTURE.md``
+and ``docs/FAULTS.md``.
 """
 
+from repro.cluster.elastic import (
+    ELASTIC_POLICIES,
+    ElasticDecision,
+    ReschedulePolicy,
+    register_elastic_policy,
+)
+from repro.cluster.faults import (
+    FAULT_PRESETS,
+    FaultEvent,
+    FaultModel,
+    FaultTrace,
+    RecoveryModel,
+    parse_fault_spec,
+    recovery_fraction,
+    strategy_is_decoupled,
+)
 from repro.cluster.spec import (
     ClusterSpec,
     NodeSpec,
@@ -56,4 +76,16 @@ __all__ = [
     "register_policy",
     "ClusterSimulator",
     "run_policy_comparison",
+    "ELASTIC_POLICIES",
+    "ElasticDecision",
+    "ReschedulePolicy",
+    "register_elastic_policy",
+    "FAULT_PRESETS",
+    "FaultEvent",
+    "FaultModel",
+    "FaultTrace",
+    "RecoveryModel",
+    "parse_fault_spec",
+    "recovery_fraction",
+    "strategy_is_decoupled",
 ]

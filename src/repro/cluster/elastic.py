@@ -1,0 +1,175 @@
+"""Elastic rescheduling policies: what happens to a gang a fault evicts.
+
+When a fault interrupts a running job the simulator asks an *elastic
+policy* where that job's remaining work should go.  Policies are pluggable
+through :data:`ELASTIC_POLICIES`, a registry mirroring the placement and
+strategy registries — register a custom policy with
+:func:`register_elastic_policy` and every simulator, objective and CLI
+entry point can use it by name.  Three built-ins cover the classic
+recovery trade-offs:
+
+* ``"restart"`` — requeue the full gang; it competes for placement like a
+  fresh arrival and pays the restart overhead when it lands.  Simple,
+  but a burst of evictions stampedes the queue.
+* ``"shrink"`` — continue *immediately* on the evicted node's surviving
+  GPUs with a re-partitioned (smaller) gang, paying only the
+  re-partition overhead.  The paper's block-partitioned strategies make
+  this natural: a pipeline over N devices re-cuts to N' < N surviving
+  devices without restarting training.
+* ``"migrate"`` — move the full gang to the tightest-fitting *other* node
+  right away, paying the migration overhead; fall back to the queue when
+  no node fits.
+
+A policy returns an :class:`ElasticDecision`; decisions that cannot be
+honoured (e.g. continuing on a node with no free GPUs) are invalid and the
+simulator rejects them loudly, exactly as it rejects overcommitting
+placement policies.
+
+Documented in ``docs/FAULTS.md`` and ``docs/API.md`` (cluster layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Protocol, runtime_checkable
+
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.workload import JobSpec
+from repro.errors import ConfigurationError
+from repro.registry import NamedRegistry, make_register
+
+
+@dataclass(frozen=True)
+class ElasticDecision:
+    """One recovery decision for one evicted gang.
+
+    ``action`` is ``"queue"`` (rejoin the pending queue, full gang) or
+    ``"continue"`` (resume immediately on ``node`` with ``gpus`` devices).
+
+    Example:
+        >>> from repro.cluster.elastic import ElasticDecision
+        >>> ElasticDecision(action="continue", node="a6000-0", gpus=2).gpus
+        2
+    """
+
+    action: str
+    node: Optional[str] = None
+    gpus: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ("queue", "continue"):
+            raise ConfigurationError(
+                f"elastic decision action must be 'queue' or 'continue', "
+                f"got {self.action!r}"
+            )
+        if self.action == "continue":
+            if not self.node:
+                raise ConfigurationError("'continue' decisions must name a node")
+            if self.gpus is None or self.gpus < 1:
+                raise ConfigurationError(
+                    f"'continue' decisions need gpus >= 1, got {self.gpus}"
+                )
+
+
+@runtime_checkable
+class ReschedulePolicy(Protocol):
+    """A pluggable elastic-recovery policy.
+
+    ``reschedule`` receives the evicted job, the node it was running on,
+    the *current* free-GPU map (post-fault, in cluster order) and the
+    cluster spec; it returns where the job's remaining work goes.
+    """
+
+    name: str
+
+    def reschedule(
+        self,
+        job: JobSpec,
+        lost_node: str,
+        free_gpus: Mapping[str, int],
+        cluster: ClusterSpec,
+    ) -> ElasticDecision:
+        """Decide how one evicted gang recovers."""
+        ...
+
+
+class ElasticRegistry(NamedRegistry[ReschedulePolicy]):
+    """Ordered name -> :class:`ReschedulePolicy` mapping with validation."""
+
+    kind = "elastic policy"
+    kind_plural = "elastic policies"
+
+    def validate(self, name: str, policy: ReschedulePolicy) -> None:
+        if not callable(getattr(policy, "reschedule", None)):
+            raise ConfigurationError(
+                f"elastic policy {name!r} must expose a callable 'reschedule'"
+            )
+
+
+#: The process-wide elastic-policy registry.
+ELASTIC_POLICIES = ElasticRegistry()
+
+#: Register an elastic policy class or instance (usable as a decorator); see
+#: :func:`repro.registry.make_register`.
+register_elastic_policy = make_register(ELASTIC_POLICIES)
+
+
+def resolve_elastic(policy) -> ReschedulePolicy:
+    """Accept an elastic policy by registry name or as a duck-typed instance."""
+    if isinstance(policy, str):
+        return ELASTIC_POLICIES.get(policy)
+    ELASTIC_POLICIES.validate(getattr(policy, "name", "<anonymous>"), policy)
+    return policy
+
+
+# ---------------------------------------------------------------------- #
+# Built-in policies
+# ---------------------------------------------------------------------- #
+@register_elastic_policy
+class RestartPolicy:
+    """Requeue the full gang; it is placed again like a fresh arrival."""
+
+    name = "restart"
+
+    def reschedule(self, job, lost_node, free_gpus, cluster) -> ElasticDecision:
+        return ElasticDecision(action="queue")
+
+
+@register_elastic_policy
+class ShrinkPolicy:
+    """Continue on the evicted node's surviving GPUs via re-partition.
+
+    The gang shrinks to ``min(job.gpus, free GPUs on the node)``; when the
+    node has no survivors (a whole-node outage) the job falls back to the
+    queue with its full gang, exactly as ``restart`` would.
+    """
+
+    name = "shrink"
+
+    def reschedule(self, job, lost_node, free_gpus, cluster) -> ElasticDecision:
+        survivors = free_gpus.get(lost_node, 0)
+        if survivors < 1:
+            return ElasticDecision(action="queue")
+        return ElasticDecision(
+            action="continue", node=lost_node, gpus=min(job.gpus, survivors)
+        )
+
+
+@register_elastic_policy
+class MigratePolicy:
+    """Move the full gang to the tightest-fitting other node immediately."""
+
+    name = "migrate"
+
+    def reschedule(self, job, lost_node, free_gpus, cluster) -> ElasticDecision:
+        best: Optional[str] = None
+        best_leftover: Optional[int] = None
+        for node, free in free_gpus.items():
+            if node == lost_node or free < job.gpus:
+                continue
+            leftover = free - job.gpus
+            if best_leftover is None or leftover < best_leftover:
+                best, best_leftover = node, leftover
+        if best is None:
+            return ElasticDecision(action="queue")
+        return ElasticDecision(action="continue", node=best, gpus=job.gpus)

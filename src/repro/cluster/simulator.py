@@ -1,7 +1,8 @@
-"""The cluster event loop: admit, place and complete distillation jobs.
+"""The cluster event loop: admit, place, complete — and now survive — jobs.
 
 :class:`ClusterSimulator` advances virtual time from event to event (job
-arrivals and gang completions), keeping a per-node free-GPU ledger and
+arrivals, gang completions and, when a fault source is attached, crash /
+preemption / straggler incidents), keeping a per-node free-GPU ledger and
 re-consulting the placement policy after every event.  Two levels of reuse
 make thousand-job fleets cheap:
 
@@ -18,21 +19,51 @@ make thousand-job fleets cheap:
   restarted fleet replay performs zero discrete-event simulations — check
   ``session.stats.runs`` / ``session.stats.store_hits``.
 
-Determinism: workloads are seeded, the event loop breaks ties by insertion
-order, and policies see nodes in cluster order — the same workload under the
-same policy always produces a bit-identical :class:`ClusterReport`.
+Fault injection (``faults=``) replays a :class:`~repro.cluster.faults.FaultTrace`
+— or materialises one from a seeded :class:`~repro.cluster.faults.FaultModel`
+— as first-class events: crashes permanently remove GPUs, preemptions take
+them away for a window, stragglers stretch a node's service times.  Evicted
+gangs recover through a pluggable elastic policy
+(:data:`~repro.cluster.elastic.ELASTIC_POLICIES`: ``restart`` / ``shrink`` /
+``migrate``) and pay checkpoint/restart costs from a
+:class:`~repro.cluster.faults.RecoveryModel` that knows decoupled
+sub-pipelines (DPU/LS) lose less progress than synchronous gangs.
 
-Documented in ``docs/API.md`` (cluster layer) and ``docs/ARCHITECTURE.md``
-(data flow).
+Determinism: workloads, fault models and the event loop are all seeded and
+tie-broken by insertion order, so the same (workload, trace, policy) always
+produces a bit-identical :class:`ClusterReport` — fault runs included.
+
+Epoch-time memo audit (PR 5): the memo key deliberately carries *no*
+placement-policy or fault context.  An epoch time is a property of the
+experiment cell alone — ``cell_key()`` pins task/dataset/server/gpus/batch,
+plus strategy and step count — and is invariant under which policy chose
+the node or which faults later hit it: straggler slowdowns scale *wall*
+time at the event level (never the memoised nominal time), and elastic
+``shrink`` re-partitions land in the memo under their actual smaller gang
+(``num_gpus`` is part of the cell).  ``tests/cluster/test_simulator.py``
+pins this with SessionStats: replaying a workload under every policy, and
+under fault injection, adds zero discrete-event simulations.
+
+Documented in ``docs/API.md`` (cluster layer), ``docs/ARCHITECTURE.md``
+(data flow) and ``docs/FAULTS.md`` (failure semantics).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.cluster_report import ClusterReport, JobRecord
+from repro.cluster.elastic import ELASTIC_POLICIES, ReschedulePolicy, resolve_elastic
+from repro.cluster.faults import (
+    FaultModel,
+    FaultTrace,
+    RecoveryModel,
+    resolve_faults,
+)
 from repro.cluster.scheduler import POLICIES, Placement, PlacementPolicy
 from repro.cluster.spec import ClusterSpec, NodeSpec
 from repro.cluster.workload import JobSpec, Workload
@@ -40,7 +71,42 @@ from repro.core.session import Session
 from repro.errors import ClusterError
 
 #: Epoch-time memo key: experiment cell + strategy + simulated step count.
+#: Complete by construction — epoch time depends on nothing else (in
+#: particular not on the placement policy, the elastic policy or the fault
+#: trace), so the memo is safely shared across policy comparisons and
+#: fault-injected replays.
 EpochKey = Tuple[Tuple[str, str, str, int, int], str, int]
+
+
+@dataclass
+class _Attempt:
+    """One running execution attempt of a job's gang on a node."""
+
+    seq: int
+    job: JobSpec
+    node: NodeSpec
+    gpus: int
+    overhead: float  # nominal seconds of recovery setup folded into the attempt
+    attempt_full: float  # nominal full-job service at this (node, gang) sizing
+    nominal_total: float  # overhead + remaining work, in nominal seconds
+    nominal_remaining: float
+    last_settle: float  # wall instant the nominal_remaining was last updated
+    start: float
+    finish: float
+
+
+@dataclass
+class _Progress:
+    """Cross-attempt bookkeeping for one job."""
+
+    done: float = 0.0  # fraction of the whole job preserved so far
+    attempts: int = 0
+    first_start: Optional[float] = None
+    preemptions: int = 0
+    gpu_seconds: float = 0.0
+    wasted_gpu_seconds: float = 0.0
+    recoveries: List[float] = field(default_factory=list)
+    interrupted_at: Optional[float] = None
 
 
 class ClusterSimulator:
@@ -54,6 +120,17 @@ class ClusterSimulator:
         >>> report = simulator.run(poisson_workload(num_jobs=6, rate=0.5))
         >>> (report.num_jobs, report.makespan > 0)
         (6, True)
+
+    With a fault source attached the same loop injects incidents and
+    recovers gangs through an elastic policy:
+
+        >>> from repro.cluster.faults import FaultModel
+        >>> faulty = ClusterSimulator(default_cluster(), policy="fifo",
+        ...                           faults=FaultModel(preempt_rate=0.002),
+        ...                           elastic="shrink")
+        >>> report = faulty.run(poisson_workload(num_jobs=6, rate=0.5))
+        >>> report.faults_injected >= 0
+        True
     """
 
     def __init__(
@@ -62,10 +139,18 @@ class ClusterSimulator:
         policy: Union[str, PlacementPolicy] = "fifo",
         session: Optional[Session] = None,
         epoch_time_cache: Optional[Dict[EpochKey, float]] = None,
+        faults: Union[FaultTrace, FaultModel, str, None] = None,
+        elastic: Union[str, ReschedulePolicy] = "restart",
+        recovery: Optional[RecoveryModel] = None,
+        fault_seed: int = 0,
     ) -> None:
         self.cluster = cluster
         self.policy = POLICIES.get(policy) if isinstance(policy, str) else policy
         self.session = session if session is not None else Session()
+        self.faults = faults
+        self.elastic = resolve_elastic(elastic)
+        self.recovery = recovery if recovery is not None else RecoveryModel()
+        self.fault_seed = fault_seed
         # Pass one dict to several simulators (as run_policy_comparison does)
         # and the epoch-time memo is shared too: later simulators replay the
         # fleet without re-running any discrete-event simulation.
@@ -77,7 +162,14 @@ class ClusterSimulator:
     # Service-time model (Session-backed, memoised per cell)
     # ------------------------------------------------------------------ #
     def epoch_time(self, job: JobSpec, node: NodeSpec) -> float:
-        """Simulated seconds per epoch for ``job``'s gang on ``node``."""
+        """Simulated seconds per epoch for ``job``'s gang on ``node``.
+
+        The memo key is the cell (which includes the node's server type and
+        the gang size), the strategy and the step count — nothing about the
+        placement policy or fault state, which cannot affect a nominal
+        epoch time.  Elastic re-partitions therefore memoise under their
+        actual (smaller) gang size, never alias the original one.
+        """
         config = job.experiment_config(node.server)
         key: EpochKey = (config.cell_key(), job.strategy, job.simulated_steps)
         if key not in self._epoch_times:
@@ -113,7 +205,7 @@ class ClusterSimulator:
         return len(self._epoch_times)
 
     # ------------------------------------------------------------------ #
-    # Event loop
+    # Entry point
     # ------------------------------------------------------------------ #
     def run(self, workload: Workload) -> ClusterReport:
         """Serve the whole workload and return the fleet-level report."""
@@ -124,7 +216,15 @@ class ClusterSimulator:
                     f"largest node of {self.cluster.name!r} has "
                     f"{self.cluster.max_gpus_per_node} GPUs"
                 )
+        trace = resolve_faults(self.faults, self.cluster, workload, seed=self.fault_seed)
+        if trace is None:
+            return self._run_reliable(workload)
+        return self._run_with_faults(workload, trace)
 
+    # ------------------------------------------------------------------ #
+    # Reliable event loop (no faults attached — the original fast path)
+    # ------------------------------------------------------------------ #
+    def _run_reliable(self, workload: Workload) -> ClusterReport:
         free: Dict[str, int] = self.cluster.node_gpus()
         arrivals: List[JobSpec] = list(workload.jobs)
         next_arrival = 0
@@ -197,6 +297,329 @@ class ClusterSimulator:
         )
 
     # ------------------------------------------------------------------ #
+    # Fault-injected event loop
+    # ------------------------------------------------------------------ #
+    def _run_with_faults(self, workload: Workload, trace: FaultTrace) -> ClusterReport:
+        known_nodes = set(self.cluster.node_gpus())
+        for event in trace.events:
+            if event.node not in known_nodes:
+                raise ClusterError(
+                    f"fault trace {trace.name!r} names unknown node "
+                    f"{event.node!r}; cluster nodes: {sorted(known_nodes)}"
+                )
+
+        # Expand the trace into an internal timeline: preemptions become a
+        # down/up pair, stragglers a slow/fast pair.  The shared token dict
+        # carries the actually-reclaimed amount from 'down' to its 'up'.
+        timeline_entries: List[Tuple[float, int, str, tuple]] = []
+        order = itertools.count()
+        for event in trace.events:
+            if event.kind == "crash":
+                timeline_entries.append((event.time, next(order), "crash", (event, None)))
+            elif event.kind == "preempt":
+                token: Dict[str, int] = {}
+                timeline_entries.append((event.time, next(order), "down", (event, token)))
+                timeline_entries.append(
+                    (event.time + event.duration, next(order), "up", (event, token))
+                )
+            else:  # straggler
+                timeline_entries.append((event.time, next(order), "slow", (event, None)))
+                timeline_entries.append(
+                    (event.time + event.duration, next(order), "fast", (event, None))
+                )
+        timeline_entries.sort(key=lambda entry: (entry[0], entry[1]))
+        timeline = deque(timeline_entries)
+
+        capacity: Dict[str, int] = self.cluster.node_gpus()  # crash-adjusted
+        down: Dict[str, int] = {name: 0 for name in capacity}  # preempted now
+        used: Dict[str, int] = {name: 0 for name in capacity}
+        factor: Dict[str, float] = {name: 1.0 for name in capacity}
+
+        arrivals: List[JobSpec] = list(workload.jobs)
+        next_arrival = 0
+        sequence = itertools.count()
+        entries: Dict[int, _Attempt] = {}
+        heap: List[Tuple[float, int]] = []
+        queue: List[JobSpec] = []
+        records: List[JobRecord] = []
+        killed: List[dict] = []
+        recoveries: List[float] = []
+        progress: Dict[str, _Progress] = {job.job_id: _Progress() for job in workload}
+        # Exact per-node occupancy: a restarted or migrated job spans nodes
+        # across attempts, so per-node utilization cannot be derived from
+        # the (final-node) completion records alone.
+        node_busy: Dict[str, float] = {name: 0.0 for name in capacity}
+        now = 0.0
+
+        def free_map() -> Dict[str, int]:
+            return {
+                name: max(0, capacity[name] - down[name]) - used[name]
+                for name in capacity
+            }
+
+        def settle(attempt: _Attempt, t: float) -> None:
+            """Convert wall time since the last settle into nominal progress."""
+            elapsed = t - attempt.last_settle
+            if elapsed > 0:
+                attempt.nominal_remaining -= elapsed / factor[attempt.node.name]
+                attempt.last_settle = t
+
+        def rebuild_heap() -> None:
+            heap[:] = [(attempt.finish, attempt.seq) for attempt in entries.values()]
+            heapq.heapify(heap)
+
+        def sized_job(job: JobSpec, gpus: int) -> JobSpec:
+            return job if gpus == job.gpus else replace(job, gpus=gpus)
+
+        def start_attempt(
+            job: JobSpec, node: NodeSpec, gpus: int, t: float, action: str
+        ) -> None:
+            prog = progress[job.job_id]
+            overhead = 0.0 if prog.attempts == 0 else self.recovery.overhead(action)
+            attempt_full = self.service_time(sized_job(job, gpus), node)
+            nominal_total = overhead + (1.0 - prog.done) * attempt_full
+            finish = t + nominal_total * factor[node.name]
+            seq = next(sequence)
+            entries[seq] = _Attempt(
+                seq=seq,
+                job=job,
+                node=node,
+                gpus=gpus,
+                overhead=overhead,
+                attempt_full=attempt_full,
+                nominal_total=nominal_total,
+                nominal_remaining=nominal_total,
+                last_settle=t,
+                start=t,
+                finish=finish,
+            )
+            heapq.heappush(heap, (finish, seq))
+            used[node.name] += gpus
+            if prog.first_start is None:
+                prog.first_start = t
+            if prog.interrupted_at is not None:
+                delay = t - prog.interrupted_at
+                prog.recoveries.append(delay)
+                recoveries.append(delay)
+                prog.interrupted_at = None
+            prog.attempts += 1
+
+        def interrupt(attempt: _Attempt, t: float) -> None:
+            """Evict a running attempt, charging checkpoint/restart losses."""
+            settle(attempt, t)
+            prog = progress[attempt.job.job_id]
+            done_nominal = attempt.nominal_total - attempt.nominal_remaining
+            productive = max(0.0, done_nominal - attempt.overhead)
+            lost = self.recovery.lost_seconds(
+                attempt.job.strategy, attempt.gpus, productive
+            )
+            preserved = max(0.0, productive - lost)
+            if attempt.attempt_full > 0:
+                prog.done = min(1.0, prog.done + preserved / attempt.attempt_full)
+            wall = t - attempt.start
+            node_busy[attempt.node.name] += attempt.gpus * wall
+            prog.gpu_seconds += attempt.gpus * wall
+            prog.wasted_gpu_seconds += attempt.gpus * max(0.0, wall - preserved)
+            prog.preemptions += 1
+            prog.interrupted_at = t
+            used[attempt.node.name] -= attempt.gpus
+            del entries[attempt.seq]
+
+        def complete(attempt: _Attempt, t: float) -> None:
+            prog = progress[attempt.job.job_id]
+            wall = t - attempt.start
+            node_busy[attempt.node.name] += attempt.gpus * wall
+            prog.gpu_seconds += attempt.gpus * wall
+            prog.wasted_gpu_seconds += attempt.gpus * attempt.overhead
+            used[attempt.node.name] -= attempt.gpus
+            del entries[attempt.seq]
+            job = attempt.job
+            cell = sized_job(job, attempt.gpus).experiment_config(
+                attempt.node.server
+            ).cell_label()
+            assert prog.first_start is not None
+            records.append(
+                JobRecord(
+                    job_id=job.job_id,
+                    node=attempt.node.name,
+                    gpus=job.gpus,
+                    strategy=job.strategy,
+                    cell=cell,
+                    arrival_time=job.arrival_time,
+                    start_time=prog.first_start,
+                    finish_time=t,
+                    preemptions=prog.preemptions,
+                    gpu_seconds=prog.gpu_seconds,
+                    wasted_gpu_seconds=prog.wasted_gpu_seconds,
+                    recovery_seconds=sum(prog.recoveries),
+                    final_gpus=attempt.gpus,
+                )
+            )
+
+        def evict_for_capacity(node_name: str, t: float) -> List[JobSpec]:
+            """Interrupt youngest gangs until the node fits its capacity."""
+            victims: List[JobSpec] = []
+            available = max(0, capacity[node_name] - down[node_name])
+            if used[node_name] <= available:
+                return victims
+            node_attempts = sorted(
+                (a for a in entries.values() if a.node.name == node_name),
+                key=lambda a: (a.start, a.seq),
+                reverse=True,
+            )
+            for attempt in node_attempts:
+                if used[node_name] <= available:
+                    break
+                job = attempt.job
+                interrupt(attempt, t)
+                victims.append(job)
+            return victims
+
+        def recover(victims: List[JobSpec], lost_node: str, t: float) -> None:
+            for job in victims:
+                decision = self.elastic.reschedule(
+                    job, lost_node, free_map(), self.cluster
+                )
+                if decision.action == "queue":
+                    queue.append(job)
+                    continue
+                node = self.cluster.node(decision.node)
+                gpus = min(decision.gpus, job.gpus)  # a gang never grows
+                if free_map().get(node.name, 0) < gpus:
+                    raise ClusterError(
+                        f"elastic policy {self.elastic.name!r} continued job "
+                        f"{job.job_id!r} ({gpus} GPUs) on node {node.name!r} "
+                        f"with only {free_map().get(node.name, 0)} free"
+                    )
+                action = "shrink" if node.name == lost_node else "migrate"
+                start_attempt(job, node, gpus, t, action)
+
+        def drain(t: float) -> None:
+            """Place queued gangs as far as the placement policy allows."""
+            while queue:
+                placement = self.policy.place(
+                    tuple(queue), free_map(), self.estimate_service_time
+                )
+                if placement is None:
+                    break
+                job, node = self._resolve(placement, queue, free_map())
+                queue.remove(job)
+                start_attempt(job, node, job.gpus, t, "restart")
+
+        while next_arrival < len(arrivals) or queue or entries:
+            event_times = []
+            if next_arrival < len(arrivals):
+                event_times.append(arrivals[next_arrival].arrival_time)
+            if heap:
+                event_times.append(heap[0][0])
+            if timeline:
+                event_times.append(timeline[0][0])
+            if not event_times:
+                # Nothing running, arriving or pending on the fault timeline,
+                # yet jobs are queued: kill the gangs the (crash-shrunken)
+                # fleet can never host again, then let the rest place.
+                peak = max(
+                    (max(0, capacity[name] - down[name]) for name in capacity),
+                    default=0,
+                )
+                unplaceable = [job for job in queue if job.gpus > peak]
+                if unplaceable:
+                    for job in unplaceable:
+                        queue.remove(job)
+                        prog = progress[job.job_id]
+                        killed.append(
+                            {
+                                "job_id": job.job_id,
+                                "gpus": job.gpus,
+                                "preemptions": prog.preemptions,
+                                "gpu_seconds": prog.gpu_seconds,
+                                "wasted_gpu_seconds": prog.wasted_gpu_seconds,
+                                "killed_at": now,
+                            }
+                        )
+                    # The kills may have unblocked head-of-line placement;
+                    # drain before picking the next event.
+                    drain(now)
+                    continue
+                stuck = [job.job_id for job in queue]
+                raise ClusterError(
+                    f"policy {self.policy.name!r} made no progress with an idle "
+                    f"fleet; stuck jobs: {stuck}"
+                )
+            now = min(event_times)
+
+            # 1. Completions first, so freed gangs are placeable this instant.
+            while heap and heap[0][0] <= now:
+                finish, seq = heapq.heappop(heap)
+                complete(entries[seq], finish)
+
+            # 2. Fault-timeline events due at this instant, in trace order.
+            dirty = False
+            while timeline and timeline[0][0] <= now:
+                _, _, action, payload = timeline.popleft()
+                event, token = payload
+                name = event.node
+                if action == "crash":
+                    amount = event.gpus if event.gpus is not None else capacity[name]
+                    capacity[name] = max(0, capacity[name] - amount)
+                    recover(evict_for_capacity(name, now), name, now)
+                    dirty = True
+                elif action == "down":
+                    amount = event.gpus if event.gpus is not None else capacity[name]
+                    take = max(0, min(amount, capacity[name] - down[name]))
+                    token["taken"] = take
+                    down[name] += take
+                    recover(evict_for_capacity(name, now), name, now)
+                    dirty = True
+                elif action == "up":
+                    down[name] = max(0, down[name] - token.get("taken", 0))
+                elif action == "slow":
+                    for attempt in entries.values():
+                        if attempt.node.name == name:
+                            settle(attempt, now)
+                    factor[name] *= event.factor
+                    for attempt in entries.values():
+                        if attempt.node.name == name:
+                            attempt.finish = now + attempt.nominal_remaining * factor[name]
+                    dirty = True
+                else:  # fast
+                    for attempt in entries.values():
+                        if attempt.node.name == name:
+                            settle(attempt, now)
+                    factor[name] = max(1.0, factor[name] / event.factor)
+                    for attempt in entries.values():
+                        if attempt.node.name == name:
+                            attempt.finish = now + attempt.nominal_remaining * factor[name]
+                    dirty = True
+            if dirty:
+                rebuild_heap()
+
+            # 3. Arrivals due at this instant.
+            while (
+                next_arrival < len(arrivals)
+                and arrivals[next_arrival].arrival_time <= now
+            ):
+                queue.append(arrivals[next_arrival])
+                next_arrival += 1
+
+            # 4. Drain the queue as far as the placement policy allows.
+            drain(now)
+
+        return ClusterReport(
+            policy=self.policy.name,
+            cluster_name=self.cluster.name,
+            workload_name=workload.name,
+            node_gpus=self.cluster.node_gpus(),
+            records=tuple(records),
+            fault_events=tuple(event.to_dict() for event in trace.events),
+            fault_trace_name=trace.name,
+            elastic_policy=self.elastic.name,
+            recoveries=tuple(recoveries),
+            killed=tuple(killed),
+            node_busy_gpu_seconds=dict(node_busy),
+        )
+
+    # ------------------------------------------------------------------ #
     def _resolve(
         self, placement: Placement, queue: List[JobSpec], free: Dict[str, int]
     ) -> Tuple[JobSpec, NodeSpec]:
@@ -223,13 +646,19 @@ def run_policy_comparison(
     workload: Workload,
     policies: Tuple[str, ...] = ("fifo", "best-fit", "sjf"),
     session: Optional[Session] = None,
+    faults: Union[FaultTrace, FaultModel, str, None] = None,
+    elastic: Union[str, ReschedulePolicy] = "restart",
+    recovery: Optional[RecoveryModel] = None,
+    fault_seed: int = 0,
 ) -> Dict[str, ClusterReport]:
     """Serve one workload under several policies, sharing one session.
 
     The session *and* the per-cell epoch-time memo are shared across the
     per-policy simulators, so the second and third policies replay the
     fleet with zero additional profile builds and zero additional
-    discrete-event simulations.
+    discrete-event simulations.  When a fault source is given, every
+    policy faces the *same* trace (models materialise once, deterministic
+    in the seed), so the comparison isolates the policy.
 
     Example:
         >>> from repro.cluster.simulator import run_policy_comparison
@@ -241,11 +670,27 @@ def run_policy_comparison(
         ['best-fit', 'fifo', 'sjf']
     """
     shared = session if session is not None else Session()
+    trace = resolve_faults(faults, cluster, workload, seed=fault_seed)
     epoch_times: Dict[EpochKey, float] = {}
     reports: Dict[str, ClusterReport] = {}
     for name in policies:
         simulator = ClusterSimulator(
-            cluster, policy=name, session=shared, epoch_time_cache=epoch_times
+            cluster,
+            policy=name,
+            session=shared,
+            epoch_time_cache=epoch_times,
+            faults=trace,
+            elastic=elastic,
+            recovery=recovery,
+            fault_seed=fault_seed,
         )
         reports[name] = simulator.run(workload)
     return reports
+
+
+__all__ = [
+    "ClusterSimulator",
+    "EpochKey",
+    "ELASTIC_POLICIES",
+    "run_policy_comparison",
+]

@@ -637,6 +637,9 @@ class Session:
         seed: int = 0,
         simulated_steps: int = 10,
         throughput_jobs: int = 12,
+        faults=None,
+        elastic: str = "restart",
+        fault_seed: int = 0,
     ):
         """Search a tuning space for the best candidate under an objective.
 
@@ -667,6 +670,9 @@ class Session:
             session=self,
             simulated_steps=simulated_steps,
             throughput_jobs=throughput_jobs,
+            faults=faults,
+            elastic=elastic,
+            fault_seed=fault_seed,
         )
 
 

@@ -52,7 +52,11 @@ class Strategy(Protocol):
 
     ``name`` is the registry key (and the string used in configs, result
     mappings and report tables); ``requires_profile`` tells callers whether
-    :meth:`build` needs a non-``None`` profile table.
+    :meth:`build` needs a non-``None`` profile table.  Strategies may also
+    declare ``decoupled_recovery: bool`` — whether their sub-pipelines
+    checkpoint and recover independently on a fault (DPU/LS-style) — which
+    the cluster fault layer's :class:`~repro.cluster.faults.RecoveryModel`
+    consults; omitting it means coupled (whole-gang critical-path replay).
     """
 
     name: str
@@ -130,6 +134,7 @@ class DPStrategy:
 
     name = "DP"
     requires_profile = False
+    decoupled_recovery = False  # synchronous all-reduce gang
 
     def build(self, pair, server, batch_size, dataset, profile=None) -> SchedulePlan:
         return build_dp_plan(pair, server, batch_size)
@@ -141,6 +146,7 @@ class LSStrategy:
 
     name = "LS"
     requires_profile = True
+    decoupled_recovery = True  # devices train independent students
 
     def build(self, pair, server, batch_size, dataset, profile=None) -> SchedulePlan:
         return build_ls_plan(pair, server, batch_size, _require_profile(self.name, profile))
@@ -152,6 +158,7 @@ class TRStrategy:
 
     name = "TR"
     requires_profile = True
+    decoupled_recovery = False  # per-step barrier couples the gang
 
     def build(self, pair, server, batch_size, dataset, profile=None) -> SchedulePlan:
         return build_tr_plan(
@@ -170,6 +177,7 @@ class TRDPUStrategy:
 
     name = "TR+DPU"
     requires_profile = True
+    decoupled_recovery = True  # decoupled updates, per-stage checkpoints
 
     def build(self, pair, server, batch_size, dataset, profile=None) -> SchedulePlan:
         return build_tr_dpu_plan(
@@ -183,6 +191,7 @@ class TRIRStrategy:
 
     name = "TR+IR"
     requires_profile = False
+    decoupled_recovery = True  # internal relay keeps devices independent
 
     def build(self, pair, server, batch_size, dataset, profile=None) -> SchedulePlan:
         return build_ir_plan(pair, server, batch_size)
@@ -194,6 +203,7 @@ class PipeBDStrategy:
 
     name = "TR+DPU+AHD"
     requires_profile = True
+    decoupled_recovery = True  # decoupled updates, per-stage checkpoints
 
     def build(self, pair, server, batch_size, dataset, profile=None) -> SchedulePlan:
         return build_ahd_plan(

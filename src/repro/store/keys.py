@@ -114,3 +114,35 @@ def throughput_key(
         }
     )
     return payload
+
+
+def goodput_key(
+    cell_signature: Tuple,
+    steps: int,
+    jobs: int,
+    policy: str,
+    cluster_dict: dict,
+    fault_spec: dict,
+    elastic: str,
+    fault_seed: int,
+    recovery: dict,
+) -> dict:
+    """Key payload for a fault-injected goodput probe.
+
+    Extends :func:`throughput_key` with everything that changes the
+    injected failures or their recovery cost: the full fault-model (or
+    trace) spec, the elastic rescheduling policy, the fault seed and the
+    recovery-cost parameters.  Two probes differing in any of these are
+    different records — a warm replay only hydrates when the *entire*
+    fault scenario matches.
+    """
+    payload = throughput_key(cell_signature, steps, jobs, policy, cluster_dict)
+    payload.update(
+        {
+            "faults": fault_spec,
+            "elastic": elastic,
+            "fault_seed": fault_seed,
+            "recovery": recovery,
+        }
+    )
+    return payload

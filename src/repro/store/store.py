@@ -138,9 +138,18 @@ class ExperimentStore:
         return self.root / "meta.json"
 
     def _open(self) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.shards_dir.mkdir(exist_ok=True)
-        self.quarantine_dir.mkdir(exist_ok=True)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.shards_dir.mkdir(exist_ok=True)
+            self.quarantine_dir.mkdir(exist_ok=True)
+        except OSError as error:
+            # e.g. --store pointing at an existing file, or an unwritable
+            # parent: surface a library error the CLI reports cleanly
+            # instead of a raw FileExistsError traceback.
+            raise StoreError(
+                f"cannot open experiment store at {self.root} ({error}); "
+                "--store must name a writable directory"
+            ) from error
         if self.meta_path.exists():
             try:
                 meta = json.loads(self.meta_path.read_text())

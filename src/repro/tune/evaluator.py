@@ -32,8 +32,15 @@ a *restarted* tune against the same store performs zero simulations
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
+from repro.cluster.faults import (
+    FAULT_PRESETS,
+    FaultModel,
+    FaultTrace,
+    RecoveryModel,
+    parse_fault_spec,
+)
 from repro.cluster.simulator import ClusterSimulator, EpochKey
 from repro.cluster.spec import default_cluster
 from repro.cluster.workload import JobSpec, Workload
@@ -45,7 +52,7 @@ from repro.models.layers import BYTES_PER_ELEMENT
 from repro.parallel.estimator import StageTimeEstimator
 from repro.parallel.plan import SchedulePlan
 from repro.parallel.registry import REGISTRY
-from repro.store.keys import estimate_key, throughput_key
+from repro.store.keys import estimate_key, goodput_key, throughput_key
 from repro.tune.objective import TuneMeasurement, cost_per_epoch
 from repro.tune.space import TunePoint
 
@@ -67,6 +74,8 @@ class EvaluatorStats:
     simulation_hits: int = 0
     cluster_probes: int = 0
     cluster_probe_hits: int = 0
+    goodput_probes: int = 0
+    goodput_probe_hits: int = 0
     #: Results served from the session's persistent store instead of being
     #: recomputed (estimates, simulations and fleet probes combined).
     store_hydrations: int = 0
@@ -95,6 +104,10 @@ class TuneEvaluator:
         session: Optional[Session] = None,
         simulated_steps: int = 10,
         throughput_jobs: int = 12,
+        faults: Union[FaultModel, FaultTrace, str, None] = None,
+        elastic: str = "restart",
+        fault_seed: int = 0,
+        recovery: Optional[RecoveryModel] = None,
     ) -> None:
         if simulated_steps < 4:
             raise ConfigurationError("simulated_steps must be >= 4")
@@ -103,10 +116,19 @@ class TuneEvaluator:
         self.session = session if session is not None else Session()
         self.simulated_steps = simulated_steps
         self.throughput_jobs = throughput_jobs
+        if isinstance(faults, str):
+            faults = parse_fault_spec(faults)
+        #: Fault scenario the goodput probe injects; defaults to the
+        #: bursty-preemption preset when an objective needs faults.
+        self.faults = faults
+        self.elastic = elastic
+        self.fault_seed = fault_seed
+        self.recovery = recovery if recovery is not None else RecoveryModel()
         self.stats = EvaluatorStats()
         self._estimates: Dict[Tuple, TuneMeasurement] = {}
         self._measurements: Dict[Tuple, TuneMeasurement] = {}
         self._throughputs: Dict[Tuple, float] = {}
+        self._goodputs: Dict[Tuple, float] = {}
         #: Epoch-time memo shared by every fleet probe of this evaluator.
         self._cluster_epoch_times: Dict[EpochKey, float] = {}
 
@@ -327,21 +349,7 @@ class TuneEvaluator:
                 self._throughputs[key] = stored["jobs_per_hour"]
                 self.stats.store_hydrations += 1
                 return stored["jobs_per_hour"]
-        jobs = tuple(
-            JobSpec(
-                job_id=f"tune-{index:03d}",
-                arrival_time=0.0,
-                gpus=point.num_gpus,
-                task=point.task,
-                dataset=point.dataset,
-                batch_size=point.batch_size,
-                strategy=point.strategy,
-                epochs=1,
-                simulated_steps=steps,
-            )
-            for index in range(self.throughput_jobs)
-        )
-        workload = Workload(name=f"tune-probe({point.label()})", jobs=jobs)
+        workload = self._probe_workload(point, steps)
         simulator = ClusterSimulator(
             cluster,
             policy=point.policy,
@@ -357,11 +365,108 @@ class TuneEvaluator:
             )
         return report.jobs_per_hour
 
+    def _probe_workload(self, point: TunePoint, steps: int) -> Workload:
+        """``throughput_jobs`` identical candidate jobs, all arriving at t=0."""
+        jobs = tuple(
+            JobSpec(
+                job_id=f"tune-{index:03d}",
+                arrival_time=0.0,
+                gpus=point.num_gpus,
+                task=point.task,
+                dataset=point.dataset,
+                batch_size=point.batch_size,
+                strategy=point.strategy,
+                epochs=1,
+                simulated_steps=steps,
+            )
+            for index in range(self.throughput_jobs)
+        )
+        return Workload(name=f"tune-probe({point.label()})", jobs=jobs)
+
+    # ------------------------------------------------------------------ #
+    # Fault-injected goodput probe
+    # ------------------------------------------------------------------ #
+    def goodput(self, point: TunePoint, steps: Optional[int] = None) -> float:
+        """Useful jobs/hour of a fault-injected fleet running this candidate.
+
+        Same probe shape as :meth:`throughput` — ``throughput_jobs``
+        identical copies of the candidate cell gang-scheduled under the
+        point's placement policy — but with the evaluator's fault scenario
+        replayed through the elastic simulator, scoring the report's
+        :attr:`~repro.analysis.cluster_report.ClusterReport.goodput_jobs_per_hour`.
+        Probes hydrate from / write through the persistent store under
+        fault-spec-aware keys (:func:`repro.store.keys.goodput_key`), so a
+        repeated identical fault sweep performs zero simulations.
+        """
+        if point.policy is None:
+            raise ConfigurationError(
+                f"candidate {point.label()!r} has no placement policy; "
+                "fault-goodput objectives need a space with a policies axis"
+            )
+        steps = self.simulated_steps if steps is None else steps
+        cluster = point.cluster if point.cluster is not None else default_cluster()
+        faults = self.faults if self.faults is not None else FAULT_PRESETS["bursty-preemption"]
+        fault_spec = (
+            {"trace": faults.to_dict()}
+            if isinstance(faults, FaultTrace)
+            else {"model": faults.to_dict()}
+        )
+        key = point.cell_signature() + (
+            steps,
+            point.policy,
+            cluster,
+            faults,
+            self.elastic,
+            self.fault_seed,
+            self.recovery,
+        )
+        if key in self._goodputs:
+            self.stats.goodput_probe_hits += 1
+            return self._goodputs[key]
+        store = self.session.store
+        store_key = goodput_key(
+            point.cell_signature(),
+            steps,
+            self.throughput_jobs,
+            point.policy,
+            cluster.to_dict(),
+            fault_spec,
+            self.elastic,
+            self.fault_seed,
+            self.recovery.to_dict(),
+        )
+        if store is not None:
+            stored = store.get("goodput", store_key)
+            if stored is not None:
+                self._goodputs[key] = stored["goodput_jobs_per_hour"]
+                self.stats.store_hydrations += 1
+                return stored["goodput_jobs_per_hour"]
+        workload = self._probe_workload(point, steps)
+        simulator = ClusterSimulator(
+            cluster,
+            policy=point.policy,
+            session=self.session,
+            epoch_time_cache=self._cluster_epoch_times,
+            faults=faults,
+            elastic=self.elastic,
+            recovery=self.recovery,
+            fault_seed=self.fault_seed,
+        )
+        report = simulator.run(workload)
+        value = report.goodput_jobs_per_hour
+        self._goodputs[key] = value
+        self.stats.goodput_probes += 1
+        if store is not None:
+            store.put("goodput", store_key, {"goodput_jobs_per_hour": value})
+        return value
+
     # ------------------------------------------------------------------ #
     def evaluate(self, point: TunePoint, objective, steps: Optional[int] = None) -> TuneMeasurement:
         """Full-fidelity evaluation for an objective (fleet probe if needed)."""
         measurement = self.measure(point, steps)
-        if getattr(objective, "needs_cluster", False):
+        if getattr(objective, "needs_faults", False):
+            measurement = replace(measurement, goodput=self.goodput(point, steps))
+        elif getattr(objective, "needs_cluster", False):
             measurement = replace(
                 measurement, jobs_per_hour=self.throughput(point, steps)
             )

@@ -72,6 +72,9 @@ class TuneMeasurement:
     simulated_steps: int
     max_memory_gb: Optional[float] = None
     jobs_per_hour: Optional[float] = None
+    #: Fault-discounted fleet throughput (useful jobs/hour under an injected
+    #: fault scenario); only set by the ``goodput_under_faults`` objective.
+    goodput: Optional[float] = None
 
     @property
     def gpus(self) -> int:
@@ -87,6 +90,7 @@ class TuneMeasurement:
             "max_memory_gb": self.max_memory_gb,
             "cost_usd_per_epoch": self.cost,
             "jobs_per_hour": self.jobs_per_hour,
+            "goodput_jobs_per_hour": self.goodput,
             "fidelity": self.fidelity,
             "simulated_steps": self.simulated_steps,
         }
@@ -192,6 +196,54 @@ class MaxJobsPerHour:
         else:
             slots = 1
         return -(max(slots, 1) * 3600.0 / measurement.epoch_time)
+
+
+@register_objective
+class MaxGoodputUnderFaults:
+    """Maximise *useful* fleet throughput under an injected fault scenario.
+
+    Like ``jobs_per_hour``, but the evaluator's fleet probe replays a
+    seeded fault model through the elastic cluster simulator and scores
+    :attr:`~repro.analysis.cluster_report.ClusterReport.goodput_jobs_per_hour`
+    — throughput discounted by the GPU-time faults destroy.  Candidates
+    whose strategies recover cheaply (decoupled sub-pipelines) and whose
+    gang sizes re-partition well therefore win even when their fault-free
+    epoch times tie.
+
+    Requires a space with a ``policies`` axis (the probe gang-schedules a
+    fleet); the fault scenario itself is configured on the evaluator /
+    :func:`repro.tune.tuner.tune` (``faults=``, ``elastic=``).
+
+    Example:
+        >>> from repro.tune.objective import OBJECTIVES
+        >>> obj = OBJECTIVES.get("goodput_under_faults")
+        >>> (obj.sense, obj.needs_cluster, obj.needs_faults)
+        ('max', True, True)
+    """
+
+    name = "goodput_under_faults"
+    sense = "max"
+    needs_cluster = True
+    needs_faults = True
+
+    def score(self, measurement: TuneMeasurement) -> float:
+        """Natural-units score: useful jobs per hour under faults."""
+        return measurement.goodput or 0.0
+
+    def key(self, measurement: TuneMeasurement) -> float:
+        """Lower-is-better key (negated goodput)."""
+        return -(measurement.goodput or 0.0)
+
+    def proxy_key(self, measurement: TuneMeasurement) -> float:
+        """Fault-free packing proxy for fidelities without a fleet probe.
+
+        Reuses the throughput proxy (slots x epoch rate): goodput is
+        monotone in fault-free throughput for a fixed fault scenario, and
+        cheap estimates cannot see faults anyway.
+        """
+        if measurement.goodput is not None:
+            return self.key(measurement)
+        return OBJECTIVES.get("jobs_per_hour").proxy_key(measurement)
 
 
 @register_objective

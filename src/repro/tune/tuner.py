@@ -33,6 +33,9 @@ def tune(
     session: Optional[Session] = None,
     simulated_steps: int = 10,
     throughput_jobs: int = 12,
+    faults=None,
+    elastic: str = "restart",
+    fault_seed: int = 0,
 ) -> TuneResult:
     """Search a tuning space for the best candidate under an objective.
 
@@ -40,6 +43,13 @@ def tune(
     spend; analytic estimates are free.  The returned result carries the
     evaluator's and session's counters so callers can verify how much of the
     grid was actually simulated.
+
+    ``faults`` / ``elastic`` / ``fault_seed`` configure the fault scenario
+    the ``goodput_under_faults`` objective injects into its fleet probes
+    (a :class:`~repro.cluster.faults.FaultModel`, a
+    :class:`~repro.cluster.faults.FaultTrace`, a CLI-style spec string or
+    ``None`` for the ``bursty-preemption`` preset); other objectives
+    ignore them.
 
     Example:
         >>> from repro.tune import TuneSpace, tune
@@ -65,6 +75,9 @@ def tune(
         session=session,
         simulated_steps=simulated_steps,
         throughput_jobs=throughput_jobs,
+        faults=faults,
+        elastic=elastic,
+        fault_seed=fault_seed,
     )
     run = resolved_driver.search(
         space, resolved_objective, evaluator, budget=budget, seed=seed

@@ -1,0 +1,320 @@
+"""Tests for elastic recovery: policies, fault-injected runs, acceptance."""
+
+import pytest
+
+from repro.cluster.elastic import (
+    ELASTIC_POLICIES,
+    ElasticDecision,
+    register_elastic_policy,
+    resolve_elastic,
+)
+from repro.cluster.faults import FAULT_PRESETS, FaultEvent, FaultTrace
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.spec import cluster_from_shorthand
+from repro.cluster.workload import JobMix, JobSpec, Workload, bursty_workload
+from repro.core.session import Session
+from repro.errors import ClusterError, ConfigurationError
+
+MIX = JobMix(
+    tasks=("nas",),
+    datasets=("cifar10",),
+    batch_sizes=(128,),
+    gpu_demands=(4,),
+    strategies=("TR+DPU+AHD",),
+    epochs=(2, 3),
+)
+
+
+def job(job_id, arrival, gpus, **overrides):
+    defaults = dict(
+        job_id=job_id,
+        arrival_time=arrival,
+        gpus=gpus,
+        batch_size=128,
+        strategy="TR+DPU+AHD",
+        simulated_steps=4,
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+class TestRegistry:
+    def test_builtins_registered_in_order(self):
+        assert ELASTIC_POLICIES.names() == ("restart", "shrink", "migrate")
+
+    def test_resolve_by_name_and_instance(self):
+        assert resolve_elastic("shrink").name == "shrink"
+        instance = ELASTIC_POLICIES.get("migrate")
+        assert resolve_elastic(instance) is instance
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ConfigurationError, match="restart"):
+            resolve_elastic("teleport")
+
+    def test_custom_policy_pluggable(self):
+        @register_elastic_policy
+        class AlwaysQueue:
+            name = "always-queue"
+
+            def reschedule(self, job, lost_node, free_gpus, cluster):
+                return ElasticDecision(action="queue")
+
+        try:
+            assert "always-queue" in ELASTIC_POLICIES
+            assert resolve_elastic("always-queue").reschedule(
+                None, "n", {}, None
+            ).action == "queue"
+        finally:
+            ELASTIC_POLICIES.unregister("always-queue")
+
+    def test_decision_validation(self):
+        with pytest.raises(ConfigurationError):
+            ElasticDecision(action="panic")
+        with pytest.raises(ConfigurationError):
+            ElasticDecision(action="continue")  # no node
+        with pytest.raises(ConfigurationError):
+            ElasticDecision(action="continue", node="n0", gpus=0)
+
+
+class TestBuiltinDecisions:
+    def test_shrink_continues_on_survivors(self):
+        policy = ELASTIC_POLICIES.get("shrink")
+        decision = policy.reschedule(
+            job("j", 0.0, 4), "n0", {"n0": 2, "n1": 0}, None
+        )
+        assert (decision.action, decision.node, decision.gpus) == ("continue", "n0", 2)
+
+    def test_shrink_falls_back_to_queue_when_node_dead(self):
+        policy = ELASTIC_POLICIES.get("shrink")
+        assert policy.reschedule(job("j", 0.0, 4), "n0", {"n0": 0}, None).action == "queue"
+
+    def test_migrate_prefers_tightest_other_node(self):
+        policy = ELASTIC_POLICIES.get("migrate")
+        decision = policy.reschedule(
+            job("j", 0.0, 2), "n0", {"n0": 4, "n1": 4, "n2": 2}, None
+        )
+        assert (decision.node, decision.gpus) == ("n2", 2)
+
+    def test_restart_always_queues(self):
+        policy = ELASTIC_POLICIES.get("restart")
+        assert policy.reschedule(job("j", 0.0, 1), "n0", {"n0": 4}, None).action == "queue"
+
+
+class TestFaultInjectedRuns:
+    def cluster(self):
+        return cluster_from_shorthand("a6000:4,a6000:4", name="duo")
+
+    def test_preempt_evicts_and_shrink_finishes_on_fewer_gpus(self):
+        # One 4-GPU job, preempted mid-run: shrink must finish it on the
+        # node's 2 survivors.
+        workload = Workload(name="one", jobs=(job("j0", 0.0, 4, epochs=3),))
+        trace = FaultTrace(
+            name="mid-run",
+            events=(FaultEvent(time=10.0, kind="preempt", node="a6000-0",
+                               gpus=2, duration=1e6),),
+        )
+        report = ClusterSimulator(
+            cluster_from_shorthand("a6000:4", name="solo"),
+            faults=trace,
+            elastic="shrink",
+            session=Session(),
+        ).run(workload)
+        assert report.num_jobs == 1
+        record = report.records[0]
+        assert record.preemptions == 1
+        assert record.final_gpus == 2
+        assert record.wasted_gpu_seconds > 0
+        assert report.goodput < report.gpu_utilization
+
+    def test_crash_kills_unplaceable_jobs(self):
+        workload = Workload(
+            name="doomed",
+            jobs=(job("j0", 0.0, 4, epochs=3), job("j1", 0.1, 4)),
+        )
+        trace = FaultTrace(
+            name="total-loss",
+            events=(FaultEvent(time=5.0, kind="crash", node="a6000-0"),),
+        )
+        report = ClusterSimulator(
+            cluster_from_shorthand("a6000:4", name="solo"),
+            faults=trace,
+            elastic="restart",
+            session=Session(),
+        ).run(workload)
+        assert report.num_jobs == 0
+        assert report.jobs_killed == 2
+        assert {entry["job_id"] for entry in report.killed} == {"j0", "j1"}
+        # The running job's occupancy until the crash counts as waste.
+        assert report.wasted_gpu_hours > 0
+
+    def test_partial_crash_shrinks_fleet_but_smaller_gangs_survive(self):
+        workload = Workload(
+            name="mixed",
+            jobs=(job("j0", 0.0, 4, epochs=2), job("j1", 0.1, 2), job("j2", 0.2, 4)),
+        )
+        trace = FaultTrace(
+            name="half-loss",
+            events=(FaultEvent(time=5.0, kind="crash", node="a6000-0", gpus=2),),
+        )
+        report = ClusterSimulator(
+            cluster_from_shorthand("a6000:4", name="solo"),
+            faults=trace,
+            elastic="restart",
+            session=Session(),
+        ).run(workload)
+        # 4-GPU gangs can never fit the 2-GPU remainder; the 2-GPU job can.
+        assert {r.job_id for r in report.records} == {"j1"}
+        assert {entry["job_id"] for entry in report.killed} == {"j0", "j2"}
+
+    def test_straggler_stretches_makespan_without_evictions(self):
+        workload = Workload(name="one", jobs=(job("j0", 0.0, 4, epochs=2),))
+        clean = ClusterSimulator(
+            cluster_from_shorthand("a6000:4", name="solo"), session=Session()
+        ).run(workload)
+        trace = FaultTrace(
+            name="slow",
+            events=(FaultEvent(time=1.0, kind="straggler", node="a6000-0",
+                               factor=2.0, duration=1e6),),
+        )
+        slowed = ClusterSimulator(
+            cluster_from_shorthand("a6000:4", name="solo"),
+            faults=trace,
+            session=Session(),
+        ).run(workload)
+        assert slowed.num_jobs == 1
+        assert slowed.makespan > clean.makespan
+        assert slowed.interruptions == 0
+
+    def test_straggler_window_end_restores_speed(self):
+        workload = Workload(name="one", jobs=(job("j0", 0.0, 4, epochs=2),))
+        short = FaultTrace(
+            name="short-slow",
+            events=(FaultEvent(time=1.0, kind="straggler", node="a6000-0",
+                               factor=2.0, duration=5.0),),
+        )
+        long = FaultTrace(
+            name="long-slow",
+            events=(FaultEvent(time=1.0, kind="straggler", node="a6000-0",
+                               factor=2.0, duration=1e6),),
+        )
+        def solo():
+            return cluster_from_shorthand("a6000:4", name="solo")
+
+        short_report = ClusterSimulator(solo(), faults=short, session=Session()).run(workload)
+        long_report = ClusterSimulator(solo(), faults=long, session=Session()).run(workload)
+        assert short_report.makespan < long_report.makespan
+
+    def test_unknown_trace_node_rejected(self):
+        workload = Workload(name="one", jobs=(job("j0", 0.0, 2),))
+        trace = FaultTrace(
+            name="bad", events=(FaultEvent(time=1.0, kind="crash", node="mars"),)
+        )
+        with pytest.raises(ClusterError, match="mars"):
+            ClusterSimulator(
+                cluster_from_shorthand("a6000:4", name="solo"),
+                faults=trace,
+                session=Session(),
+            ).run(workload)
+
+    def test_recovery_durations_feed_p95(self):
+        # Whole-node preemption forces a queue-and-wait recovery.
+        workload = Workload(name="one", jobs=(job("j0", 0.0, 4, epochs=3),))
+        trace = FaultTrace(
+            name="outage",
+            events=(FaultEvent(time=10.0, kind="preempt", node="a6000-0",
+                               gpus=4, duration=50.0),),
+        )
+        report = ClusterSimulator(
+            cluster_from_shorthand("a6000:4", name="solo"),
+            faults=trace,
+            elastic="restart",
+            session=Session(),
+        ).run(workload)
+        assert report.num_jobs == 1
+        assert len(report.recoveries) == 1
+        assert report.recovery_p95 == pytest.approx(50.0)
+        assert report.records[0].recovery_seconds == pytest.approx(50.0)
+
+
+class TestAcceptance:
+    """The ISSUE's acceptance criteria, pinned as tests."""
+
+    def test_shrink_beats_restart_on_goodput_in_bursty_preemption_preset(self):
+        cluster = cluster_from_shorthand("a6000:4,a6000:4", name="duo")
+        workload = bursty_workload(10, burst_size=5, burst_gap=60.0, seed=0, mix=MIX)
+        session = Session()
+        reports = {}
+        for elastic in ("restart", "shrink"):
+            simulator = ClusterSimulator(
+                cluster,
+                policy="fifo",
+                session=session,
+                faults=FAULT_PRESETS["bursty-preemption"],
+                elastic=elastic,
+                fault_seed=0,
+            )
+            reports[elastic] = simulator.run(workload)
+        assert reports["shrink"].interruptions > 0
+        assert reports["shrink"].goodput > reports["restart"].goodput
+        assert (
+            reports["shrink"].goodput_jobs_per_hour
+            > reports["restart"].goodput_jobs_per_hour
+        )
+
+    def test_identical_fault_sweep_hydrates_fully_from_store(self, tmp_path):
+        cluster = cluster_from_shorthand("a6000:4,a6000:4", name="duo")
+        workload = bursty_workload(8, burst_size=4, burst_gap=60.0, seed=1, mix=MIX)
+        store = str(tmp_path / "store")
+
+        def sweep(session):
+            out = []
+            for elastic in ("restart", "shrink"):
+                simulator = ClusterSimulator(
+                    cluster,
+                    policy="fifo",
+                    session=session,
+                    faults=FAULT_PRESETS["bursty-preemption"],
+                    elastic=elastic,
+                    fault_seed=0,
+                )
+                out.append(simulator.run(workload))
+            return out
+
+        cold_session = Session(store=store)
+        cold = sweep(cold_session)
+        assert cold_session.stats.runs > 0
+
+        warm_session = Session(store=store)
+        warm = sweep(warm_session)
+        # 100% hydration: zero discrete-event simulations on the replay.
+        assert warm_session.stats.runs == 0
+        assert warm_session.stats.store_hits > 0
+        for before, after in zip(cold, warm):
+            assert before.to_json() == after.to_json()
+
+
+class TestPerNodeAttribution:
+    def test_migrated_job_charges_both_nodes(self):
+        # A 4-GPU job starts on a6000-0, the node burns down, migrate moves
+        # it to a6000-1: both nodes must show busy time, and neither may
+        # exceed 100% utilization.
+        workload = Workload(name="one", jobs=(job("j0", 0.0, 4, epochs=3),))
+        trace = FaultTrace(
+            name="burn",
+            events=(FaultEvent(time=10.0, kind="crash", node="a6000-0"),),
+        )
+        report = ClusterSimulator(
+            cluster_from_shorthand("a6000:4,a6000:4", name="duo"),
+            policy="fifo",
+            faults=trace,
+            elastic="migrate",
+            session=Session(),
+        ).run(workload)
+        assert report.num_jobs == 1
+        assert report.records[0].node == "a6000-1"  # final node
+        utilization = report.per_node_utilization()
+        assert utilization["a6000-0"] > 0  # pre-crash occupancy attributed
+        assert utilization["a6000-1"] > 0
+        assert all(0.0 <= value <= 1.0 for value in utilization.values())
+        busy = report.node_busy_gpu_seconds
+        assert busy["a6000-0"] == pytest.approx(4 * 10.0)  # 4 GPUs for 10 s

@@ -301,3 +301,104 @@ class TestClusterReport:
             percentile([], 50)
         with pytest.raises(ConfigurationError):
             percentile([1.0], 101)
+
+
+class TestEpochMemoAudit:
+    """PR 5 audit: the epoch-time memo key carries no policy/fault context.
+
+    An epoch time is a property of (cell, strategy, steps) alone — the
+    placement policy only decides *where* a gang runs (the server type and
+    gang size are already in the cell key), and fault handling scales wall
+    time at the event level without ever touching the memoised nominal
+    value.  These tests pin that audit with SessionStats: if someone later
+    adds context the key must learn about (or pollutes the memo from a
+    fault path), the zero-new-runs assertions below break.
+    """
+
+    def _workload(self):
+        mix = JobMix(
+            tasks=("nas",),
+            datasets=("cifar10",),
+            batch_sizes=(128,),
+            gpu_demands=(2, 4),
+            strategies=("TR", "TR+DPU+AHD"),
+            epochs=(1, 2),
+        )
+        return poisson_workload(10, rate=0.5, seed=5, mix=mix)
+
+    def test_memo_replay_under_every_policy_adds_zero_runs(self):
+        cluster = default_cluster()
+        workload = self._workload()
+        session = Session()
+        memo = {}
+        first = {
+            name: ClusterSimulator(
+                cluster, policy=name, session=session, epoch_time_cache=memo
+            ).run(workload)
+            for name in ("fifo", "best-fit", "sjf")
+        }
+        runs_after_first = session.stats.runs
+        assert runs_after_first > 0
+
+        second = {
+            name: ClusterSimulator(
+                cluster, policy=name, session=session, epoch_time_cache=memo
+            ).run(workload)
+            for name in ("fifo", "best-fit", "sjf")
+        }
+        # Zero new simulations: the memo key is complete for every policy.
+        assert session.stats.runs == runs_after_first
+        for name in first:
+            assert first[name].to_json() == second[name].to_json()
+
+    def test_memo_key_distinguishes_server_type_and_gang_size(self):
+        cluster = ClusterSpec(
+            name="hetero",
+            nodes=(
+                NodeSpec(name="big", server="a6000", num_gpus=4),
+                NodeSpec(name="alt", server="2080ti", num_gpus=4),
+            ),
+        )
+        simulator = ClusterSimulator(cluster, policy="best-fit", session=Session())
+        workload = Workload(
+            name="two-cells",
+            jobs=(job("j0", 0.0, 4), job("j1", 0.0, 4)),
+        )
+        simulator.run(workload)
+        keys = {(cell[2], cell[3]) for cell, _, _ in simulator._epoch_times}
+        # Both server types and the gang size appear in the memo keys.
+        assert ("a6000", 4) in keys and ("2080ti", 4) in keys
+
+    def test_fault_scaling_never_pollutes_the_nominal_memo(self):
+        from repro.cluster.faults import FaultEvent, FaultTrace
+
+        cluster = default_cluster()
+        workload = self._workload()
+
+        clean = ClusterSimulator(cluster, policy="fifo", session=Session())
+        clean.run(workload)
+
+        trace = FaultTrace(
+            name="slow-everything",
+            events=tuple(
+                FaultEvent(
+                    time=1.0 + index,
+                    kind="straggler",
+                    node=node.name,
+                    factor=3.0,
+                    duration=1e5,
+                )
+                for index, node in enumerate(cluster.nodes)
+            ),
+        )
+        faulty = ClusterSimulator(
+            cluster, policy="fifo", session=Session(), faults=trace
+        )
+        faulty.run(workload)
+
+        # Stragglers tripled wall time, but every shared memo entry still
+        # holds the identical nominal epoch time.
+        shared = set(clean._epoch_times) & set(faulty._epoch_times)
+        assert shared
+        for key in shared:
+            assert clean._epoch_times[key] == faulty._epoch_times[key]

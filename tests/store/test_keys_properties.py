@@ -1,0 +1,100 @@
+"""Property-based tests for store key canonicalisation.
+
+The persistent store's whole correctness story rests on one invariant:
+*logically equal key payloads always hash to the same address, and
+distinguishable payloads never collide by construction shortcuts* (e.g.
+insertion order, nesting, unicode).  Hypothesis drives the canonical-JSON
+layer across arbitrary JSON-shaped payloads; the deterministic profile is
+registered in ``tests/conftest.py``.
+"""
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.store.keys import canonical_json, content_key  # noqa: E402
+
+# JSON-safe scalars: no NaN/inf (canonical_json forbids them by design) and
+# integer-valued floats excluded where float/int identity would alias
+# (json encodes 1.0 != 1, so both stay representable and distinct).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+
+json_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+payloads = st.dictionaries(st.text(max_size=10), json_values, max_size=6)
+
+
+def shuffled_copy(payload: dict) -> dict:
+    """The same mapping rebuilt in reversed insertion order."""
+    return {key: payload[key] for key in reversed(list(payload))}
+
+
+class TestCanonicalJson:
+    @given(payloads)
+    def test_insertion_order_never_changes_the_rendering(self, payload):
+        assert canonical_json(payload) == canonical_json(shuffled_copy(payload))
+
+    @given(payloads)
+    def test_rendering_round_trips_through_json(self, payload):
+        assert json.loads(canonical_json(payload)) == payload
+
+    @given(payloads)
+    def test_rendering_is_idempotent_under_reparse(self, payload):
+        reparsed = json.loads(canonical_json(payload))
+        assert canonical_json(reparsed) == canonical_json(payload)
+
+    @given(payloads)
+    def test_rendering_is_compact(self, payload):
+        rendered = canonical_json(payload)
+        assert ": " not in rendered and ", " not in rendered
+
+    def test_nan_is_rejected_not_silently_encoded(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestContentKey:
+    @given(payloads)
+    def test_key_is_a_sha256_hex_digest(self, payload):
+        key = content_key("run", payload)
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    @given(payloads)
+    def test_equal_payloads_share_an_address(self, payload):
+        assert content_key("run", payload) == content_key(
+            "run", shuffled_copy(payload)
+        )
+
+    @given(payloads)
+    def test_kind_partitions_the_address_space(self, payload):
+        # The same payload under different record kinds must never collide:
+        # a run result and an estimate are different value shapes.
+        assert content_key("run", payload) != content_key("estimate", payload)
+
+    @given(payloads, payloads)
+    def test_distinct_payloads_get_distinct_addresses(self, first, second):
+        hypothesis.assume(
+            canonical_json(first) != canonical_json(second)
+        )
+        assert content_key("run", first) != content_key("run", second)
+
+    @given(payloads)
+    def test_key_is_stable_across_calls(self, payload):
+        assert content_key("run", payload) == content_key("run", payload)

@@ -425,3 +425,223 @@ class TestCache:
         assert "no experiment store" in captured.err
         # Crucially, the typo'd path was not materialised.
         assert not (tmp_path / "resuls").exists()
+
+
+class TestClusterFaults:
+    def test_faults_preset_with_elastic_shrink(self, capsys):
+        code, captured = run_cli(
+            capsys,
+            "cluster",
+            "--num-jobs",
+            "8",
+            "--policy",
+            "fifo",
+            "--seed",
+            "2",
+            "--faults",
+            "bursty-preemption",
+            "--elastic",
+            "shrink",
+            "--table",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["faults"]["spec"]["name"] == "bursty-preemption"
+        assert payload["faults"]["elastic"] == "shrink"
+        report = payload["reports"]["fifo"]
+        assert report["elastic_policy"] == "shrink"
+        assert report["faults_injected"] > 0
+        assert 0.0 <= report["goodput"] <= 1.0
+
+    def test_fault_rate_spec(self, capsys):
+        code, captured = run_cli(
+            capsys,
+            "cluster",
+            "--num-jobs",
+            "6",
+            "--policy",
+            "fifo",
+            "--faults",
+            "crash:0.001",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["faults"]["spec"]["crash_rate"] == 0.001
+
+    def test_fault_trace_replay(self, capsys, tmp_path):
+        from repro.cluster.faults import FaultEvent, FaultTrace
+
+        trace = tmp_path / "faults.json"
+        FaultTrace(
+            name="one-crash",
+            events=(FaultEvent(time=30.0, kind="crash", node="a6000-0", gpus=2),),
+        ).save(trace)
+        code, captured = run_cli(
+            capsys,
+            "cluster",
+            "--num-jobs",
+            "6",
+            "--policy",
+            "fifo",
+            "--fault-trace",
+            str(trace),
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["reports"]["fifo"]["faults_injected"] == 1
+        assert payload["faults"]["spec"]["trace"] == "one-crash"
+
+    def test_seeded_fault_run_is_reproducible(self, capsys):
+        argv = (
+            "cluster",
+            "--num-jobs",
+            "8",
+            "--policy",
+            "fifo",
+            "--faults",
+            "bursty-preemption",
+            "--elastic",
+            "shrink",
+            "--fault-seed",
+            "3",
+        )
+        code, captured = run_cli(capsys, *argv)
+        assert code == 0
+        first = json.loads(captured.out)["reports"]
+        code, captured = run_cli(capsys, *argv)
+        assert code == 0
+        second = json.loads(captured.out)["reports"]
+        assert first == second
+
+    def test_faults_and_fault_trace_are_mutually_exclusive(self, capsys, tmp_path):
+        code, captured = run_cli(
+            capsys,
+            "cluster",
+            "--faults",
+            "crash:0.01",
+            "--fault-trace",
+            str(tmp_path / "x.json"),
+        )
+        assert code == 2
+        assert "mutually exclusive" in captured.err
+
+
+class TestErrorPaths:
+    def test_bad_store_path_is_reported_not_raised(self, capsys, tmp_path):
+        # --store pointing at an existing *file* cannot become a directory.
+        blocker = tmp_path / "store"
+        blocker.write_text("not a directory")
+        code, captured = run_cli(
+            capsys, "run", "--strategy", "DP", "--steps", "4", "--store", str(blocker)
+        )
+        assert code == 2
+        assert "error:" in captured.err
+        assert "store" in captured.err
+
+    def test_unknown_strategy_in_tune_space(self, capsys):
+        code, captured = run_cli(
+            capsys, "tune", "--strategies", "DP,WARP-DRIVE", "--budget", "2"
+        )
+        assert code == 2
+        assert "WARP-DRIVE" in captured.err
+
+    def test_unknown_policy_in_cluster(self, capsys):
+        code, captured = run_cli(
+            capsys, "cluster", "--policy", "coin-flip", "--num-jobs", "4"
+        )
+        assert code == 2
+        assert "unknown placement policy" in captured.err
+
+    def test_unknown_elastic_policy(self, capsys):
+        code, captured = run_cli(
+            capsys,
+            "cluster",
+            "--num-jobs",
+            "4",
+            "--faults",
+            "crash:0.01",
+            "--elastic",
+            "teleport",
+        )
+        assert code == 2
+        assert "unknown elastic policy" in captured.err
+
+    def test_unknown_objective_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tune", "--objective", "vibes"])
+        assert excinfo.value.code == 2
+        assert "--objective" in capsys.readouterr().err
+
+    def test_unknown_fault_preset(self, capsys):
+        code, captured = run_cli(
+            capsys, "cluster", "--num-jobs", "4", "--faults", "solar-flare"
+        )
+        assert code == 2
+        assert "bad fault spec" in captured.err
+
+    def test_malformed_workload_trace_json(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text("{this is not json")
+        code, captured = run_cli(capsys, "cluster", "--workload", str(trace))
+        assert code == 2
+        assert "malformed workload trace" in captured.err
+
+    def test_workload_trace_with_wrong_shape(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps({"name": "t"}))  # no "jobs" key
+        code, captured = run_cli(capsys, "cluster", "--workload", str(trace))
+        assert code == 2
+        assert "malformed workload trace" in captured.err
+
+    def test_malformed_fault_trace_json(self, capsys, tmp_path):
+        trace = tmp_path / "faults.json"
+        trace.write_text('{"events": [{"time": "soon"}]}')
+        code, captured = run_cli(
+            capsys, "cluster", "--num-jobs", "4", "--fault-trace", str(trace)
+        )
+        assert code == 2
+        assert "malformed fault trace" in captured.err
+
+    def test_missing_fault_trace_file(self, capsys, tmp_path):
+        code, captured = run_cli(
+            capsys,
+            "cluster",
+            "--num-jobs",
+            "4",
+            "--fault-trace",
+            str(tmp_path / "nope.json"),
+        )
+        assert code == 2
+        assert "cannot read fault trace" in captured.err
+
+
+class TestTuneGoodput:
+    def test_goodput_objective_round_trip(self, capsys):
+        code, captured = run_cli(
+            capsys,
+            "tune",
+            "--objective",
+            "goodput_under_faults",
+            "--strategies",
+            "TR,TR+DPU+AHD",
+            "--batch-sizes",
+            "128",
+            "--gpu-counts",
+            "2",
+            "--policies",
+            "fifo",
+            "--driver",
+            "exhaustive",
+            "--budget",
+            "4",
+            "--steps",
+            "4",
+            "--faults",
+            "bursty-preemption",
+            "--elastic",
+            "shrink",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["objective"]["name"] == "goodput_under_faults"
+        assert payload["best"]["goodput_jobs_per_hour"] > 0

@@ -1,0 +1,128 @@
+"""Property-based tests for Pareto-frontier dominance invariants.
+
+The autotuner's frontier is the load-bearing result surface: a wrong
+dominance relation silently hides good trade-offs or reports dominated
+ones.  Hypothesis generates random measurement clouds and checks the
+classic partial-order laws plus the frontier's defining properties; the
+deterministic profile is registered in ``tests/conftest.py``.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.tune.objective import TuneMeasurement  # noqa: E402
+from repro.tune.result import dominates, pareto_frontier  # noqa: E402
+from repro.tune.space import TunePoint  # noqa: E402
+
+_POINT = TunePoint(
+    task="nas",
+    dataset="cifar10",
+    server="a6000",
+    num_gpus=2,
+    batch_size=128,
+    strategy="DP",
+)
+
+
+def measurement(epoch_time: float, gpus: int, memory: float) -> TuneMeasurement:
+    return TuneMeasurement(
+        point=TunePoint(
+            task=_POINT.task,
+            dataset=_POINT.dataset,
+            server=_POINT.server,
+            num_gpus=gpus,
+            batch_size=_POINT.batch_size,
+            strategy=_POINT.strategy,
+        ),
+        epoch_time=epoch_time,
+        cost=0.0,
+        fidelity="simulated",
+        simulated_steps=10,
+        max_memory_gb=memory,
+    )
+
+
+# Small discrete grids on purpose: they force ties and duplicate axis
+# vectors, the cases where dominance logic usually breaks.
+measurements = st.builds(
+    measurement,
+    epoch_time=st.sampled_from([1.0, 2.0, 3.0, 5.0, 8.0]),
+    gpus=st.sampled_from([1, 2, 4]),
+    memory=st.sampled_from([0.5, 1.0, 2.0]),
+)
+
+clouds = st.lists(measurements, min_size=1, max_size=16)
+
+
+def axes(m: TuneMeasurement):
+    return (m.epoch_time, m.gpus, m.max_memory_gb)
+
+
+class TestDominance:
+    @given(measurements)
+    def test_irreflexive(self, m):
+        assert not dominates(m, m)
+
+    @given(measurements, measurements)
+    def test_antisymmetric(self, a, b):
+        assert not (dominates(a, b) and dominates(b, a))
+
+    @given(measurements, measurements, measurements)
+    def test_transitive(self, a, b, c):
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+    @given(measurements, measurements)
+    def test_dominance_matches_axis_semantics(self, a, b):
+        expected = all(x <= y for x, y in zip(axes(a), axes(b))) and axes(a) != axes(b)
+        assert dominates(a, b) == expected
+
+
+class TestFrontier:
+    @given(clouds)
+    def test_frontier_is_a_subset_of_the_input(self, cloud):
+        frontier = pareto_frontier(cloud)
+        ids = {id(m) for m in cloud}
+        assert all(id(m) in ids for m in frontier)
+        assert frontier  # a non-empty cloud always has a non-dominated point
+
+    @given(clouds)
+    def test_no_frontier_member_dominates_another(self, cloud):
+        frontier = pareto_frontier(cloud)
+        for a in frontier:
+            for b in frontier:
+                assert not dominates(a, b)
+
+    @given(clouds)
+    def test_every_excluded_point_is_dominated_or_duplicate(self, cloud):
+        frontier = pareto_frontier(cloud)
+        frontier_axes = [axes(m) for m in frontier]
+        for m in cloud:
+            if any(axes(m) == vector for vector in frontier_axes):
+                continue  # duplicates are kept once, by design
+            assert any(dominates(other, m) for other in cloud)
+
+    @given(clouds)
+    def test_frontier_has_no_duplicate_axis_vectors(self, cloud):
+        frontier = pareto_frontier(cloud)
+        vectors = [axes(m) for m in frontier]
+        assert len(vectors) == len(set(vectors))
+
+    @given(clouds)
+    def test_frontier_is_sorted_fastest_first(self, cloud):
+        vectors = [axes(m) for m in pareto_frontier(cloud)]
+        assert vectors == sorted(vectors)
+
+    @given(clouds)
+    def test_frontier_is_permutation_invariant(self, cloud):
+        forward = {axes(m) for m in pareto_frontier(cloud)}
+        backward = {axes(m) for m in pareto_frontier(list(reversed(cloud)))}
+        assert forward == backward
+
+    @given(clouds)
+    def test_frontier_is_idempotent(self, cloud):
+        frontier = pareto_frontier(cloud)
+        again = pareto_frontier(list(frontier))
+        assert [axes(m) for m in again] == [axes(m) for m in frontier]

@@ -266,3 +266,99 @@ class TestEvaluatorIncrementality:
             evaluator.measure(estimated).epoch_time
             == evaluator.measure(simulated).epoch_time
         )
+
+
+class TestGoodputUnderFaults:
+    def space(self):
+        from repro.tune.space import TuneSpace
+
+        return TuneSpace(
+            strategies=("TR", "TR+DPU+AHD"),
+            batch_sizes=(128,),
+            gpu_counts=(2,),
+            policies=("fifo",),
+        )
+
+    def test_decoupled_strategy_wins_on_goodput(self):
+        result = tune(
+            self.space(),
+            objective="goodput_under_faults",
+            driver="exhaustive",
+            budget=4,
+            simulated_steps=4,
+            faults="bursty-preemption",
+            elastic="shrink",
+        )
+        assert result.objective_name == "goodput_under_faults"
+        assert result.best.goodput is not None and result.best.goodput > 0
+        # The decoupled strategy recovers at 1/gpus of the lost work, so it
+        # never loses to plain TR on this fault scenario.
+        assert result.best.point.strategy == "TR+DPU+AHD"
+
+    def test_requires_a_policies_axis(self):
+        from repro.tune.space import TuneSpace
+
+        with pytest.raises(ConfigurationError, match="policies"):
+            tune(
+                TuneSpace(strategies=("TR",), batch_sizes=(128,), gpu_counts=(2,)),
+                objective="goodput_under_faults",
+                budget=2,
+                simulated_steps=4,
+            )
+
+    def test_identical_fault_tune_hydrates_fully_from_store(self, tmp_path):
+        store = str(tmp_path / "store")
+
+        def run(session):
+            return tune(
+                self.space(),
+                objective="goodput_under_faults",
+                driver="exhaustive",
+                budget=4,
+                simulated_steps=4,
+                session=session,
+                faults="bursty-preemption",
+                elastic="shrink",
+                fault_seed=2,
+            )
+
+        cold_session = Session(store=store)
+        cold = run(cold_session)
+        assert cold_session.stats.runs > 0
+
+        warm_session = Session(store=store)
+        warm = run(warm_session)
+        # Zero simulations on the replay: runs, estimates and fault probes
+        # all hydrate from fault-spec-aware store records.
+        assert warm_session.stats.runs == 0
+        assert warm.best.goodput == cold.best.goodput
+
+    def test_different_fault_seed_is_a_different_record(self, tmp_path):
+        store = str(tmp_path / "store")
+        first = Session(store=store)
+        tune(
+            self.space(),
+            objective="goodput_under_faults",
+            driver="exhaustive",
+            budget=4,
+            simulated_steps=4,
+            session=first,
+            elastic="shrink",
+            fault_seed=0,
+        )
+        second = Session(store=store)
+        evaluator_runs_before = second.stats.runs
+        result = tune(
+            self.space(),
+            objective="goodput_under_faults",
+            driver="exhaustive",
+            budget=4,
+            simulated_steps=4,
+            session=second,
+            elastic="shrink",
+            fault_seed=1,
+        )
+        # Per-cell epoch times hydrate (they are fault-independent), but the
+        # goodput probes are keyed by fault seed, so they re-run.
+        assert second.stats.runs == evaluator_runs_before
+        assert result.evaluator_stats["goodput_probes"] > 0
