@@ -31,6 +31,11 @@ Blockwise Distillation" (DATE 2023).  It contains:
 * ``repro.analysis`` — breakdowns, speedups, memory reports, schedule
   visualisation, fleet-level cluster reports, Pareto analytics and
   store warm/cold hit-rate reports.
+* ``repro.serve`` — planner-as-a-service: the versioned HTTP JSON API
+  (``/v1/plan``, ``/v1/sweep``, ``/v1/tune``, ``/v1/cluster``,
+  ``/v1/precompute``) over one store-backed session, with FastAPI and
+  dependency-free stdlib frontends.  Imported lazily — ``import repro``
+  stays light.
 
 See ``docs/ARCHITECTURE.md`` for the layer map, ``docs/API.md`` for the
 public API reference and ``docs/TUNING.md`` for the autotuning guide.

@@ -47,6 +47,28 @@ def warm_cold_summary(session: Session) -> dict:
     }
 
 
+def request_warm_cold(delta: dict) -> dict:
+    """Per-request hydration accounting from a :meth:`SessionStats.delta`.
+
+    The serve layer brackets each HTTP request with
+    ``SessionStats.snapshot()`` / ``delta()`` and embeds this summary as
+    ``meta.request`` in the response, making "this query performed zero
+    simulations" observable by the caller.
+
+    Example:
+        >>> from repro.analysis.store_report import request_warm_cold
+        >>> request_warm_cold({"runs": 0, "store_hits": 3, "store_builds": 0})
+        {'simulations': 0, 'store_hits': 3, 'store_builds': 0, 'warm': True}
+    """
+    simulations = delta.get("runs", 0)
+    return {
+        "simulations": simulations,
+        "store_hits": delta.get("store_hits", 0),
+        "store_builds": delta.get("store_builds", 0),
+        "warm": simulations == 0,
+    }
+
+
 def store_overview(store: ExperimentStore) -> dict:
     """Store stats plus a per-record-kind count breakdown (one record walk)."""
     return store.overview()

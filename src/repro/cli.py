@@ -1,6 +1,6 @@
 """``python -m repro`` — command-line front door over the Session/cluster APIs.
 
-Five subcommands mirror the five levels of the system:
+Six subcommands mirror the levels of the system:
 
 * ``run`` — one (config, strategy) cell on one simulated server,
 * ``sweep`` — a grid over batch sizes / GPU counts / datasets / servers /
@@ -12,6 +12,9 @@ Five subcommands mirror the five levels of the system:
 * ``tune`` — autotune strategy x batch x GPU count x server (and placement
   policy, for throughput objectives) under a simulation budget, emitting a
   Pareto frontier,
+* ``serve`` — expose plan/sweep/tune/cluster (plus ``/v1/precompute``
+  store warming and health/stats probes) as a versioned HTTP JSON API,
+  answering hot queries from the store with zero simulations,
 * ``cache`` — inspect (``stats``), prune (``gc``) or dump (``export``) a
   persistent experiment store.
 
@@ -76,7 +79,10 @@ def _str_list(text: str) -> List[str]:
 def _emit(payload: dict, out: Optional[str]) -> None:
     text = json.dumps(payload, indent=2)
     if out:
-        Path(out).write_text(text)
+        try:
+            Path(out).write_text(text)
+        except OSError as error:
+            raise ReproError(f"cannot write --out {out!r}: {error}") from error
         print(f"wrote {out}")
     else:
         print(text)
@@ -222,7 +228,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             mix=DEFAULT_MIX,
         )
     if args.save_workload:
-        workload.save(args.save_workload)
+        try:
+            workload.save(args.save_workload)
+        except OSError as error:
+            raise ReproError(
+                f"cannot write --save-workload {args.save_workload!r}: {error}"
+            ) from error
         print(f"wrote {args.save_workload}", file=sys.stderr)
 
     faults = _resolve_cli_faults(args)
@@ -304,6 +315,84 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     payload = result.to_dict()
     payload.update(_store_payload(session))
     _emit(payload, args.out)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.service import PlannerService
+
+    if not (0 <= args.port <= 65535):
+        raise ReproError(
+            f"serve --port must be 0..65535 (0 picks a free port), got {args.port}"
+        )
+    if not args.host.strip():
+        raise ReproError("serve --host must be a non-empty host name or address")
+    service = PlannerService(store=args.store or None, backend=args.backend)
+
+    def announce(frontend: str, port: int) -> None:
+        # One machine-readable startup line, then the server blocks; CI and
+        # the load harness poll /v1/healthz for readiness.
+        print(
+            json.dumps(
+                {
+                    "serving": {
+                        "host": args.host,
+                        "port": port,
+                        "frontend": frontend,
+                        "version": __version__,
+                        "store": args.store or None,
+                        "backend": args.backend,
+                        "endpoints": list(service.paths()),
+                    }
+                }
+            ),
+            flush=True,
+        )
+
+    if args.http in ("auto", "uvicorn"):
+        try:
+            import uvicorn
+
+            from repro.serve.app import create_app
+
+            app = create_app(service=service)
+        except (ImportError, ReproError) as error:
+            if args.http == "uvicorn":
+                raise ReproError(
+                    f"--http uvicorn needs fastapi and uvicorn installed: {error}"
+                ) from error
+            print(
+                f"note: uvicorn/FastAPI unavailable ({error}); "
+                "falling back to the stdlib HTTP server",
+                file=sys.stderr,
+            )
+        else:
+            announce("uvicorn", args.port)
+            try:
+                uvicorn.run(app, host=args.host, port=args.port, log_level="warning")
+            except OSError as error:
+                raise ReproError(
+                    f"cannot serve on {args.host}:{args.port}: {error}"
+                ) from error
+            return 0
+
+    from repro.serve.http import start_server
+
+    try:
+        server = start_server(
+            service, host=args.host, port=args.port, background=False
+        )
+    except OSError as error:
+        raise ReproError(
+            f"cannot bind {args.host}:{args.port}: {error}"
+        ) from error
+    announce("stdlib", server.bound_port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -492,6 +581,29 @@ def build_parser() -> argparse.ArgumentParser:
     tune_parser.add_argument("--out", help="write JSON to this file instead of stdout")
     add_store_argument(tune_parser)
     tune_parser.set_defaults(handler=_cmd_tune)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve the planner as a versioned HTTP JSON API"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8023, help="bind port (0 picks a free port)"
+    )
+    serve_parser.add_argument(
+        "--backend",
+        default="inline",
+        choices=BACKENDS.names(),
+        help="execution backend for sweep/precompute cells (default: inline)",
+    )
+    serve_parser.add_argument(
+        "--http",
+        default="auto",
+        choices=("auto", "uvicorn", "stdlib"),
+        help="HTTP frontend: uvicorn+FastAPI when installed, stdlib fallback "
+        "otherwise (default: auto)",
+    )
+    add_store_argument(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect, prune or dump a persistent experiment store"

@@ -180,6 +180,31 @@ class SessionStats:
     def to_dict(self) -> dict:
         return dict(self.__dict__)
 
+    def snapshot(self) -> dict:
+        """A point-in-time copy of every counter (pair with :meth:`delta`)."""
+        return dict(self.__dict__)
+
+    def delta(self, before: dict) -> dict:
+        """Per-counter change since a :meth:`snapshot`.
+
+        The serve layer brackets each request with snapshot/delta to report
+        per-request warm-vs-cold accounting (``delta(...)["runs"] == 0``
+        means the request performed zero simulations).
+
+        Example:
+            >>> from repro import ExperimentConfig, Session
+            >>> session = Session()
+            >>> before = session.stats.snapshot()
+            >>> _ = session.run(ExperimentConfig(batch_size=128,
+            ...                                  simulated_steps=4))
+            >>> session.stats.delta(before)["runs"]
+            1
+        """
+        return {
+            name: value - before.get(name, 0)
+            for name, value in self.__dict__.items()
+        }
+
 
 @dataclass
 class SweepResult:

@@ -1,0 +1,103 @@
+"""The FastAPI application factory (lazy — FastAPI is an optional extra).
+
+:func:`create_app` builds a FastAPI app whose every route is a thin
+adapter over :meth:`PlannerService.dispatch_raw`; validation, error
+mapping and payload construction all live in the service, so the FastAPI
+transport, the stdlib fallback (:mod:`repro.serve.http`) and the
+in-process :class:`~repro.serve.client.LocalClient` answer
+byte-identically.  FastAPI itself is imported inside the factory:
+``import repro.serve`` works on a bare install, and calling
+``create_app`` without FastAPI raises a :class:`~repro.errors.ReproError`
+that says exactly what to install.
+
+Documented in ``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.serve.service import PlannerService
+from repro.version import __version__
+
+__all__ = ["create_app"]
+
+_INSTALL_HINT = (
+    "the serve HTTP app needs FastAPI, which is not installed; "
+    "`pip install fastapi uvicorn` (both are in requirements.txt) or use "
+    "the dependency-free fallback: `python -m repro serve --http stdlib` / "
+    "repro.serve.http.start_server()"
+)
+
+
+def create_app(service: Optional[PlannerService] = None, **service_kwargs):
+    """Build the FastAPI app over one planner service.
+
+    ``service_kwargs`` (``store=``, ``backend=``) construct a fresh
+    :class:`PlannerService` when none is given.  Raises
+    :class:`~repro.errors.ReproError` with an install hint when FastAPI is
+    missing.
+    """
+    try:
+        from fastapi import FastAPI, Request
+        from fastapi.responses import JSONResponse
+    except ImportError as error:
+        raise ReproError(_INSTALL_HINT) from error
+
+    if service is None:
+        service = PlannerService(**service_kwargs)
+    elif service_kwargs:
+        raise ReproError(
+            "pass either a service instance or store=/backend= kwargs, not both"
+        )
+
+    app = FastAPI(
+        title="repro planner",
+        description=(
+            "Planner-as-a-service over the Pipe-BD reproduction: plan, "
+            "sweep, tune and fleet-simulate over HTTP, answering hot "
+            "queries from the experiment store with zero simulations."
+        ),
+        version=__version__,
+    )
+    app.state.service = service
+
+    def _make_endpoint(method: str, path: str):
+        async def endpoint(request: Request) -> JSONResponse:
+            raw = await request.body() if method == "POST" else b""
+            status, payload = service.dispatch_raw(method, path, raw)
+            return JSONResponse(payload, status_code=status)
+
+        endpoint.__name__ = (
+            f"{method.lower()}_{path.strip('/').replace('/', '_') or 'root'}"
+        )
+        return endpoint
+
+    for path in service.paths():
+        for method in service.methods_for(path):
+            app.add_api_route(path, _make_endpoint(method, path), methods=[method])
+
+    # Unknown paths / wrong methods fall through to Starlette; reshape its
+    # bodies into the service's error envelope so clients see one format.
+    from starlette.exceptions import HTTPException as StarletteHTTPException
+
+    @app.exception_handler(StarletteHTTPException)
+    async def _http_error(request: Request, exc: StarletteHTTPException):
+        status, payload = service.dispatch_raw(
+            request.method, request.url.path, b""
+        )
+        if status in (404, 405):
+            return JSONResponse(payload, status_code=status)
+        return JSONResponse(  # pragma: no cover - non-routing HTTP errors
+            {
+                "error": {
+                    "status": exc.status_code,
+                    "type": "http",
+                    "message": str(exc.detail),
+                }
+            },
+            status_code=exc.status_code,
+        )
+
+    return app

@@ -1,0 +1,98 @@
+"""Dependency-free HTTP transport for the planner service.
+
+A thin :class:`~http.server.ThreadingHTTPServer` that forwards every
+request to :meth:`PlannerService.dispatch_raw`.  It exists so ``repro
+serve`` (and the load-test harness, and CI smoke jobs) work on a bare
+python install; when FastAPI + uvicorn are available the CLI prefers
+them (``--http uvicorn``), and both transports answer byte-identically
+because all behaviour lives in the service.
+
+Example:
+    >>> from repro.serve import PlannerService
+    >>> from repro.serve.http import start_server
+    >>> server = start_server(PlannerService(), host="127.0.0.1", port=0)
+    >>> server.bound_port > 0
+    True
+    >>> server.shutdown(); server.server_close()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.service import PlannerService
+
+__all__ = ["PlannerHTTPServer", "start_server"]
+
+
+class _PlannerRequestHandler(BaseHTTPRequestHandler):
+    """Translate HTTP requests into service dispatches (no logic here)."""
+
+    server: "PlannerHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def _handle(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        status, payload = self.server.service.dispatch_raw(method, self.path, raw)
+        data = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._handle("POST")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - log formatting only
+            super().log_message(format, *args)
+
+
+class PlannerHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`PlannerService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: PlannerService,
+        host: str = "127.0.0.1",
+        port: int = 8023,
+        quiet: bool = True,
+    ) -> None:
+        self.service = service
+        self.quiet = quiet
+        super().__init__((host, port), _PlannerRequestHandler)
+
+    @property
+    def bound_port(self) -> int:
+        """The actually-bound port (useful with ``port=0``)."""
+        return self.server_address[1]
+
+
+def start_server(
+    service: PlannerService,
+    host: str = "127.0.0.1",
+    port: int = 8023,
+    quiet: bool = True,
+    background: bool = True,
+) -> PlannerHTTPServer:
+    """Bind a planner server; with ``background=True`` it serves on a thread.
+
+    The caller owns shutdown: ``server.shutdown(); server.server_close()``.
+    """
+    server = PlannerHTTPServer(service, host=host, port=port, quiet=quiet)
+    if background:
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        server._thread = thread
+    return server

@@ -1,0 +1,69 @@
+"""Fixtures for the planner-as-a-service test suite.
+
+The ``client`` fixtures prefer the real FastAPI stack when it is
+installed (``fastapi.testclient.TestClient`` over
+:func:`repro.serve.app.create_app`) and fall back to the dependency-free
+in-process :class:`~repro.serve.client.LocalClient` otherwise.  Both
+speak the same ``.get``/``.post`` surface and, because every frontend
+delegates to the same :class:`~repro.serve.service.PlannerService`, the
+suite asserts the same payloads either way — locally it exercises the
+stdlib path, in CI (which installs ``requirements.txt``) the FastAPI
+path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.client import LocalClient
+from repro.serve.service import PlannerService
+
+
+def best_client(service: PlannerService):
+    """The best available test client for one service instance."""
+    try:
+        # TestClient needs httpx and raises RuntimeError (not ImportError)
+        # when it is missing; create_app raises ReproError without fastapi.
+        from fastapi.testclient import TestClient
+
+        from repro.serve.app import create_app
+
+        return TestClient(create_app(service=service))
+    except (ImportError, RuntimeError, ReproError):
+        return LocalClient(service)
+
+
+@pytest.fixture
+def make_client():
+    """The client factory itself, for tests that build services mid-test
+    (e.g. the warm-restart suite, which boots a second service on the same
+    store directory)."""
+    return best_client
+
+
+@pytest.fixture
+def store_root(tmp_path):
+    return tmp_path / "store"
+
+
+@pytest.fixture
+def service(store_root):
+    """A store-backed service (the deployment shape the issue targets)."""
+    return PlannerService(store=store_root)
+
+
+@pytest.fixture
+def client(service):
+    return best_client(service)
+
+
+@pytest.fixture
+def bare_service():
+    """A storeless service (plans still work; precompute must refuse)."""
+    return PlannerService()
+
+
+@pytest.fixture
+def bare_client(bare_service):
+    return best_client(bare_service)

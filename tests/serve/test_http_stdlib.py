@@ -1,0 +1,123 @@
+"""The stdlib HTTP frontend, over real sockets.
+
+Boots :func:`repro.serve.http.start_server` on an ephemeral port and
+drives it with ``urllib`` — no third-party HTTP stack involved — to pin
+down what the dependency-free deployment path actually serves: the same
+service payloads, the same error envelope, correct status codes, and the
+warm/cold accounting surviving the wire.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.http import start_server
+from repro.serve.service import PlannerService
+
+STEPS = 4
+PLAN = {"strategy": "TR", "num_gpus": 2, "batch_size": 128, "steps": STEPS}
+
+
+@pytest.fixture
+def server(store_root):
+    service = PlannerService(store=store_root)
+    server = start_server(service, host="127.0.0.1", port=0)
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture
+def base_url(server):
+    return f"http://127.0.0.1:{server.bound_port}"
+
+
+def http(method, url, body=None):
+    """One request; returns (status, payload) without raising on 4xx/5xx."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestOverTheWire:
+    def test_healthz(self, base_url):
+        status, payload = http("GET", f"{base_url}/v1/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["has_store"] is True
+
+    def test_cold_then_warm_plan(self, base_url):
+        status, cold = http("POST", f"{base_url}/v1/plan", PLAN)
+        assert status == 200
+        assert cold["meta"]["request"] == {
+            "simulations": 1,
+            "store_hits": 0,
+            "store_builds": 1,
+            "warm": False,
+        }
+        status, warm = http("POST", f"{base_url}/v1/plan", PLAN)
+        assert status == 200
+        assert warm["meta"]["request"]["simulations"] == 0
+        assert warm["meta"]["request"]["warm"] is True
+        assert warm["result"] == cold["result"]
+
+    def test_unknown_path_404(self, base_url):
+        status, payload = http("GET", f"{base_url}/nope")
+        assert status == 404
+        assert payload["error"]["type"] == "not_found"
+
+    def test_wrong_method_405(self, base_url):
+        status, payload = http("GET", f"{base_url}/v1/plan")
+        assert status == 405
+        assert payload["error"]["choices"] == ["POST"]
+
+    def test_unknown_strategy_400_with_choices(self, base_url):
+        status, payload = http(
+            "POST", f"{base_url}/v1/plan", {"strategy": "FSDP"}
+        )
+        assert status == 400
+        assert "TR+DPU+AHD" in payload["error"]["choices"]
+
+    def test_undecodable_body_400(self, base_url):
+        request = urllib.request.Request(
+            f"{base_url}/v1/plan",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"]["type"] == "bad_json"
+
+    def test_validation_422(self, base_url):
+        status, payload = http(
+            "POST", f"{base_url}/v1/plan", {"batch_size": "large"}
+        )
+        assert status == 422
+        assert payload["error"]["type"] == "validation"
+
+    def test_wire_payload_matches_in_process_dispatch(self, server, base_url):
+        """The transport adds nothing: socket bytes == dispatch payload."""
+        status, wire = http("POST", f"{base_url}/v1/sweep", {"steps": STEPS})
+        assert status == 200
+        # A fresh service on the same store answers identically (warm), so
+        # compare the deterministic section only.
+        wire.pop("meta")
+        local_status, local = server.service.dispatch(
+            "POST", "/v1/sweep", {"steps": STEPS}
+        )
+        assert local_status == 200
+        local.pop("meta")
+        assert json.dumps(wire, indent=2) == json.dumps(local, indent=2)

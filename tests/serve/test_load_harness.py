@@ -1,0 +1,102 @@
+"""The load harness (``tools/load_serve.py``) as a library and as a CLI.
+
+The harness is what CI's serve-smoke job runs, so its report shape and
+exit-code contract are part of the serve surface: warm hit rate must be
+1.0 with zero simulations against a store-backed server, non-200s must
+flip the exit code, and the grid builder must refuse impossible sizes.
+"""
+
+import json
+
+import pytest
+
+from tools.load_serve import build_grid, main, percentile, run_load
+
+from repro.serve.http import start_server
+from repro.serve.service import PlannerService
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        sample = [0.1, 0.2, 0.3, 0.4, 0.5]
+        assert percentile(sample, 0.50) == 0.3
+        assert percentile(sample, 0.99) == 0.5
+        assert percentile([], 0.5) == 0.0
+
+    def test_order_independent(self):
+        assert percentile([0.5, 0.1, 0.3], 0.5) == percentile([0.1, 0.3, 0.5], 0.5)
+
+
+class TestBuildGrid:
+    def test_bodies_are_distinct_cells(self):
+        bodies = build_grid(8, steps=4)
+        assert len(bodies) == 8
+        assert len({(b["strategy"], b["batch_size"]) for b in bodies}) == 8
+        assert all(body["steps"] == 4 for body in bodies)
+
+    def test_oversized_grid_is_refused(self):
+        with pytest.raises(SystemExit):
+            build_grid(10_000, steps=4)
+        with pytest.raises(SystemExit):
+            build_grid(0, steps=4)
+
+
+class TestRunLoad:
+    def test_report_against_a_live_server(self, store_root):
+        server = start_server(
+            PlannerService(store=store_root), host="127.0.0.1", port=0
+        )
+        try:
+            report = run_load(
+                f"http://127.0.0.1:{server.bound_port}",
+                clients=2,
+                requests=3,
+                warm_passes=2,
+                steps=4,
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert report["grid_size"] == 3
+        cold, warm = report["phases"]["cold"], report["phases"]["warm"]
+        assert cold["requests"] == 3 and cold["failures"] == 0
+        assert cold["simulations"] == 3
+        assert warm["requests"] == 6 and warm["failures"] == 0
+        assert warm["simulations"] == 0
+        assert warm["hit_rate"] == 1.0
+        assert warm["p50_ms"] <= warm["p99_ms"]
+        assert report["warm_p99_over_cold_p50"] > 0
+
+
+class TestMain:
+    def test_self_mode_writes_report_and_exits_zero(self, tmp_path):
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "--self",
+                "--clients",
+                "2",
+                "--requests",
+                "3",
+                "--warm-passes",
+                "2",
+                "--steps",
+                "4",
+                "--store",
+                str(tmp_path / "store"),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["phases"]["warm"]["simulations"] == 0
+        assert report["phases"]["warm"]["hit_rate"] == 1.0
+
+    def test_unreachable_url_exits_one(self, capsys):
+        # TEST-NET-1 address with an instant refusal on localhost instead:
+        # a port from the ephemeral range that nothing listens on.
+        code = main(["--url", "http://127.0.0.1:9", "--clients", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "not answering" in captured.err

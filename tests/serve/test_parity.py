@@ -1,0 +1,165 @@
+"""Serve responses are byte-identical to CLI JSON for identical inputs.
+
+Both frontends drive the same :class:`~repro.core.session.Session` entry
+points, so the deterministic payload sections must match byte for byte
+once the bookkeeping sections are stripped: the CLI appends
+``session_stats`` / ``warm_cold`` / ``store`` (and ``tune`` embeds
+cumulative ``session_stats`` / ``evaluator_stats``), the service appends
+``meta``.  Both sides run cold (fresh session, no store) so the compared
+sections carry equal-temperature numbers.
+"""
+
+import json
+
+from repro.cli import main
+from repro.serve.client import LocalClient
+from repro.serve.service import PlannerService
+
+STEPS = 4
+
+#: Bookkeeping keys that legitimately differ between frontends.
+STATS_KEYS = frozenset(
+    {"meta", "session_stats", "warm_cold", "store", "evaluator_stats"}
+)
+
+
+def cli_payload(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    return json.loads(captured.out)
+
+
+def serve_payload(path, body):
+    client = LocalClient(PlannerService())
+    response = client.post(path, json=body)
+    assert response.status_code == 200, response.json()
+    return response.json()
+
+
+def canonical(payload):
+    """The deterministic section of a payload, as stable bytes."""
+    stripped = {k: v for k, v in payload.items() if k not in STATS_KEYS}
+    return json.dumps(stripped, indent=2, sort_keys=True)
+
+
+class TestPlanParity:
+    def test_run_and_plan_agree(self, capsys):
+        cli = cli_payload(
+            capsys,
+            "run",
+            "--strategy",
+            "TR+DPU",
+            "--num-gpus",
+            "2",
+            "--batch-size",
+            "128",
+            "--steps",
+            str(STEPS),
+        )
+        serve = serve_payload(
+            "/v1/plan",
+            {
+                "strategy": "TR+DPU",
+                "num_gpus": 2,
+                "batch_size": 128,
+                "steps": STEPS,
+            },
+        )
+        assert canonical(cli) == canonical(serve)
+
+
+class TestSweepParity:
+    def test_sweep_grids_agree(self, capsys):
+        cli = cli_payload(
+            capsys,
+            "sweep",
+            "--batch-sizes",
+            "128,256",
+            "--strategies",
+            "DP,TR",
+            "--steps",
+            str(STEPS),
+        )
+        serve = serve_payload(
+            "/v1/sweep",
+            {
+                "batch_sizes": [128, 256],
+                "strategies": ["DP", "TR"],
+                "steps": STEPS,
+            },
+        )
+        assert canonical(cli) == canonical(serve)
+
+
+class TestClusterParity:
+    def test_fleet_replays_agree(self, capsys):
+        cli = cli_payload(
+            capsys,
+            "cluster",
+            "--num-jobs",
+            "10",
+            "--seed",
+            "7",
+        )
+        serve = serve_payload("/v1/cluster", {"num_jobs": 10, "seed": 7})
+        assert canonical(cli) == canonical(serve)
+
+    def test_faulty_replays_agree(self, capsys):
+        cli = cli_payload(
+            capsys,
+            "cluster",
+            "--num-jobs",
+            "6",
+            "--policy",
+            "fifo",
+            "--faults",
+            "bursty-preemption",
+            "--elastic",
+            "migrate",
+            "--fault-seed",
+            "3",
+        )
+        serve = serve_payload(
+            "/v1/cluster",
+            {
+                "num_jobs": 6,
+                "policy": "fifo",
+                "faults": "bursty-preemption",
+                "elastic": "migrate",
+                "fault_seed": 3,
+            },
+        )
+        assert canonical(cli) == canonical(serve)
+
+
+class TestTuneParity:
+    def test_tune_runs_agree(self, capsys):
+        cli = cli_payload(
+            capsys,
+            "tune",
+            "--driver",
+            "exhaustive",
+            "--strategies",
+            "DP,TR",
+            "--batch-sizes",
+            "128",
+            "--gpu-counts",
+            "2,4",
+            "--budget",
+            "8",
+            "--steps",
+            str(STEPS),
+        )
+        serve = serve_payload(
+            "/v1/tune",
+            {
+                "driver": "exhaustive",
+                "strategies": ["DP", "TR"],
+                "batch_sizes": [128],
+                "gpu_counts": [2, 4],
+                "budget": 8,
+                "steps": STEPS,
+            },
+        )
+        assert canonical(cli) == canonical(serve)

@@ -1,0 +1,137 @@
+"""The serve acceptance bar: a second identical query performs zero simulations.
+
+Asserted through the per-request ``meta.request`` section each response
+carries (the :class:`~repro.core.session.SessionStats` delta for that one
+request): ``simulations == 0`` and ``warm is True`` on the repeat — both
+within one service process and across a *restart* (a fresh
+:class:`~repro.serve.service.PlannerService` on the same store directory).
+"""
+
+import pytest
+
+from repro.serve.service import PlannerService
+
+STEPS = 4
+
+
+def meta_request(response):
+    assert response.status_code == 200, response.json()
+    return response.json()["meta"]["request"]
+
+
+PLAN = {"strategy": "TR", "num_gpus": 2, "batch_size": 128, "steps": STEPS}
+SWEEP = {"batch_sizes": [128, 256], "strategies": ["DP", "TR"], "steps": STEPS}
+TUNE = {
+    "driver": "exhaustive",
+    "strategies": ["DP", "TR"],
+    "batch_sizes": [128],
+    "gpu_counts": [2],
+    "budget": 8,
+    "steps": STEPS,
+}
+
+
+class TestWarmWithinOneService:
+    def test_second_plan_simulates_nothing(self, client):
+        cold = meta_request(client.post("/v1/plan", json=PLAN))
+        warm = meta_request(client.post("/v1/plan", json=PLAN))
+        assert cold == {
+            "simulations": 1,
+            "store_hits": 0,
+            "store_builds": 1,
+            "warm": False,
+        }
+        assert warm["simulations"] == 0
+        assert warm["store_hits"] == 1
+        assert warm["warm"] is True
+
+    def test_second_sweep_simulates_nothing(self, client):
+        cold = meta_request(client.post("/v1/sweep", json=SWEEP))
+        warm = meta_request(client.post("/v1/sweep", json=SWEEP))
+        assert cold["simulations"] == 4 and cold["warm"] is False
+        assert warm["simulations"] == 0 and warm["warm"] is True
+        assert warm["store_hits"] == 4
+
+    def test_second_tune_simulates_nothing(self, client):
+        cold = meta_request(client.post("/v1/tune", json=TUNE))
+        warm = meta_request(client.post("/v1/tune", json=TUNE))
+        assert cold["simulations"] > 0 and cold["warm"] is False
+        assert warm["simulations"] == 0 and warm["warm"] is True
+
+    def test_precompute_then_overlapping_queries_are_warm(self, client):
+        grid = {
+            "batch_sizes": [128, 256],
+            "gpu_counts": [2],
+            "strategies": ["DP", "TR"],
+            "steps": STEPS,
+        }
+        assert client.post("/v1/precompute", json=grid).status_code == 200
+        plan = meta_request(
+            client.post(
+                "/v1/plan",
+                json={
+                    "strategy": "DP",
+                    "num_gpus": 2,
+                    "batch_size": 256,
+                    "steps": STEPS,
+                },
+            )
+        )
+        assert plan == {
+            "simulations": 0,
+            "store_hits": 1,
+            "store_builds": 0,
+            "warm": True,
+        }
+        sweep = meta_request(
+            client.post(
+                "/v1/sweep",
+                json={
+                    "batch_sizes": [128, 256],
+                    "num_gpus": 2,
+                    "strategies": ["TR"],
+                    "steps": STEPS,
+                },
+            )
+        )
+        assert sweep["simulations"] == 0 and sweep["warm"] is True
+
+    def test_session_counters_are_cumulative(self, client):
+        first = client.post("/v1/plan", json=PLAN).json()["meta"]["session"]
+        second = client.post("/v1/plan", json=PLAN).json()["meta"]["session"]
+        assert first["runs"] == 1
+        assert second["runs"] == 1  # the warm repeat added no simulation
+        assert second["store_hits"] == first["store_hits"] + 1
+
+
+class TestWarmAcrossRestarts:
+    """A fresh service process on the same store answers warm immediately."""
+
+    @pytest.mark.parametrize(
+        "path, body, cold_simulations",
+        [
+            ("/v1/plan", PLAN, 1),
+            ("/v1/sweep", SWEEP, 4),
+            ("/v1/tune", TUNE, 4),
+        ],
+    )
+    def test_restarted_service_is_warm(
+        self, make_client, store_root, path, body, cold_simulations
+    ):
+        first = make_client(PlannerService(store=store_root))
+        cold = meta_request(first.post(path, json=body))
+        assert cold["simulations"] == cold_simulations
+        assert cold["warm"] is False
+
+        restarted = make_client(PlannerService(store=store_root))
+        warm = meta_request(restarted.post(path, json=body))
+        assert warm["simulations"] == 0
+        assert warm["warm"] is True
+
+    def test_healthz_sees_the_inherited_store(self, make_client, store_root):
+        first = make_client(PlannerService(store=store_root))
+        assert first.post("/v1/plan", json=PLAN).status_code == 200
+        restarted = make_client(PlannerService(store=store_root))
+        stats = restarted.get("/v1/store/stats").json()
+        assert stats["records_by_kind"].get("run", 0) == 1
+        assert stats["session"]["runs"] == 0  # nothing simulated yet

@@ -645,3 +645,92 @@ class TestTuneGoodput:
         payload = json.loads(captured.out)
         assert payload["objective"]["name"] == "goodput_under_faults"
         assert payload["best"]["goodput_jobs_per_hour"] > 0
+
+
+class TestServe:
+    """`repro serve` argument validation (the server itself blocks, so the
+    happy path is covered over real sockets in tests/serve/)."""
+
+    def test_out_of_range_port_is_reported(self, capsys):
+        code, captured = run_cli(capsys, "serve", "--port", "70000")
+        assert code == 2
+        assert "error:" in captured.err
+        assert "0..65535" in captured.err
+
+    def test_negative_port_is_reported(self, capsys):
+        code, captured = run_cli(capsys, "serve", "--port", "-1")
+        assert code == 2
+        assert "0..65535" in captured.err
+
+    def test_blank_host_is_reported(self, capsys):
+        code, captured = run_cli(capsys, "serve", "--host", "  ", "--port", "0")
+        assert code == 2
+        assert "non-empty" in captured.err
+
+    def test_store_pointing_at_a_file_is_reported(self, capsys, tmp_path):
+        not_a_dir = tmp_path / "store.json"
+        not_a_dir.write_text("{}")
+        code, captured = run_cli(
+            capsys, "serve", "--store", str(not_a_dir), "--port", "0"
+        )
+        assert code == 2
+        assert "error:" in captured.err
+        assert captured.err.count("\n") == 1  # one clean line, no traceback
+
+    def test_explicit_uvicorn_without_fastapi_is_reported(self, capsys):
+        try:
+            import uvicorn  # noqa: F401
+            import fastapi  # noqa: F401
+        except ImportError:
+            pass
+        else:
+            pytest.skip("uvicorn and fastapi are installed; the fallback "
+                        "error path does not apply")
+        code, captured = run_cli(
+            capsys, "serve", "--http", "uvicorn", "--port", "0"
+        )
+        assert code == 2
+        assert "uvicorn" in captured.err
+
+    def test_unknown_http_frontend_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "serve", "--http", "gunicorn")
+
+
+class TestOutFailures:
+    """--out must turn write failures into exit 2, not a traceback."""
+
+    def test_run_out_into_missing_directory(self, capsys, tmp_path):
+        target = tmp_path / "no" / "such" / "dir" / "result.json"
+        code, captured = run_cli(
+            capsys, "run", "--steps", "4", "--out", str(target)
+        )
+        assert code == 2
+        assert "cannot write --out" in captured.err
+
+    def test_sweep_out_onto_a_directory(self, capsys, tmp_path):
+        code, captured = run_cli(
+            capsys,
+            "sweep",
+            "--strategies",
+            "DP",
+            "--steps",
+            "4",
+            "--out",
+            str(tmp_path),
+        )
+        assert code == 2
+        assert "cannot write --out" in captured.err
+
+    def test_cluster_save_workload_into_missing_directory(self, capsys, tmp_path):
+        target = tmp_path / "missing" / "workload.json"
+        code, captured = run_cli(
+            capsys,
+            "cluster",
+            "--num-jobs",
+            "4",
+            "--save-workload",
+            str(target),
+        )
+        assert code == 2
+        assert "cannot write --save-workload" in captured.err

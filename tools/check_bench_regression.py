@@ -54,6 +54,9 @@ METRIC_KEYS = frozenset(
         "simulations",
         "distinct_cells",
         "grid_size",
+        # serve hot path (zero-simulation guarantee; latencies stay ungated)
+        "cold_hit_rate",
+        "warm_hit_rate",
         # tune convergence
         "budget",
         "best_epoch_time_s",

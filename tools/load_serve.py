@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Concurrent load-test harness for the planner service.
+
+Drives ``POST /v1/plan`` with N concurrent clients in two phases —
+**cold** (one pass over a grid of distinct cells, every request
+simulates) and **warm** (repeated passes over the same grid, every
+request must answer from the store with zero simulations) — and reports
+p50/p95/p99 latency plus the warm/cold hit rate as one JSON document.
+
+Two ways to point it at a server::
+
+    # self-contained: boots an in-process stdlib server on a free port
+    # backed by a temporary store (or --store PATH)
+    PYTHONPATH=src python tools/load_serve.py --self --clients 8
+
+    # external: any running `python -m repro serve` instance
+    PYTHONPATH=src python tools/load_serve.py --url http://127.0.0.1:8023
+
+The report's ``phases.warm.hit_rate`` should be 1.0 against a healthy
+store-backed service; ``phases.warm.p99_ms`` well below
+``phases.cold.p50_ms`` is the zero-simulation hot path showing up as
+latency.  Exit status: 0 when every request returned 200, 1 otherwise.
+
+CI runs a short burst of this in the ``serve-smoke`` job and uploads the
+report as an artifact; ``benchmarks/bench_serve_latency.py`` is the
+regression-gated in-process twin.  Documented in ``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import math
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Strategies and batch sizes crossed to generate distinct plan cells.
+GRID_STRATEGIES = ("DP", "LS", "TR", "TR+DPU", "TR+IR", "TR+DPU+AHD")
+GRID_BATCH_SIZES = (128, 192, 256, 320)
+
+
+def build_grid(size: int, steps: int) -> List[dict]:
+    """``size`` distinct ``/v1/plan`` request bodies (strategy x batch)."""
+    if size < 1:
+        raise SystemExit("error: --requests must be >= 1")
+    cells = itertools.product(GRID_BATCH_SIZES, GRID_STRATEGIES)
+    bodies = [
+        {"strategy": strategy, "batch_size": batch, "steps": steps}
+        for batch, strategy in cells
+    ]
+    if size > len(bodies):
+        raise SystemExit(
+            f"error: --requests is capped at {len(bodies)} distinct cells"
+        )
+    return bodies[:size]
+
+
+def post_plan(url: str, body: dict, timeout: float = 60.0) -> Tuple[float, int, dict]:
+    """POST one plan request; returns (latency_seconds, status, payload)."""
+    request = urllib.request.Request(
+        f"{url}/v1/plan",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    start = time.perf_counter()
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            payload = json.loads(response.read())
+            status = response.status
+    except urllib.error.HTTPError as error:
+        payload = json.loads(error.read() or b"{}")
+        status = error.code
+    return time.perf_counter() - start, status, payload
+
+
+def percentile(latencies: List[float], q: float) -> float:
+    """The q-quantile (0..1) of a latency sample, nearest-rank method."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def run_phase(
+    url: str, bodies: List[dict], clients: int
+) -> Tuple[List[float], List[dict], int]:
+    """Fire one request per body across a client pool.
+
+    Returns (latencies, response payloads, failure count).
+    """
+    with ThreadPoolExecutor(max_workers=max(1, clients)) as pool:
+        outcomes = list(pool.map(lambda body: post_plan(url, body), bodies))
+    latencies = [latency for latency, _, _ in outcomes]
+    payloads = [payload for _, status, payload in outcomes if status == 200]
+    failures = sum(1 for _, status, _ in outcomes if status != 200)
+    return latencies, payloads, failures
+
+
+def phase_stats(latencies: List[float], payloads: List[dict], failures: int) -> dict:
+    """p50/p95/p99 latency plus hydration accounting for one phase."""
+    simulations = sum(p["meta"]["request"]["simulations"] for p in payloads)
+    warm = sum(1 for p in payloads if p["meta"]["request"]["warm"])
+    return {
+        "requests": len(latencies),
+        "failures": failures,
+        "p50_ms": percentile(latencies, 0.50) * 1000.0,
+        "p95_ms": percentile(latencies, 0.95) * 1000.0,
+        "p99_ms": percentile(latencies, 0.99) * 1000.0,
+        "mean_ms": (sum(latencies) / len(latencies) * 1000.0) if latencies else 0.0,
+        "simulations": simulations,
+        "hit_rate": (warm / len(payloads)) if payloads else 0.0,
+    }
+
+
+def run_load(
+    url: str,
+    clients: int = 8,
+    requests: int = 12,
+    warm_passes: int = 3,
+    steps: int = 6,
+) -> dict:
+    """Cold pass + warm passes against one server; returns the JSON report."""
+    grid = build_grid(requests, steps)
+    cold = run_phase(url, grid, clients)
+    warm_bodies = [body for _ in range(max(1, warm_passes)) for body in grid]
+    warm = run_phase(url, warm_bodies, clients)
+    cold_stats = phase_stats(*cold)
+    warm_stats = phase_stats(*warm)
+    ratio = (
+        warm_stats["p99_ms"] / cold_stats["p50_ms"]
+        if cold_stats["p50_ms"] > 0
+        else 0.0
+    )
+    return {
+        "url": url,
+        "clients": clients,
+        "grid_size": len(grid),
+        "warm_passes": max(1, warm_passes),
+        "phases": {"cold": cold_stats, "warm": warm_stats},
+        "warm_p99_over_cold_p50": ratio,
+    }
+
+
+def _healthz_ok(url: str, timeout: float = 5.0) -> bool:
+    try:
+        with urllib.request.urlopen(f"{url}/v1/healthz", timeout=timeout) as response:
+            return response.status == 200
+    except (urllib.error.URLError, OSError):
+        return False
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--url", help="base URL of a running repro serve instance")
+    target.add_argument(
+        "--self",
+        dest="self_hosted",
+        action="store_true",
+        help="boot an in-process stdlib server on a free port",
+    )
+    parser.add_argument("--clients", type=int, default=8, help="concurrent clients")
+    parser.add_argument(
+        "--requests", type=int, default=12, help="distinct cells in the grid"
+    )
+    parser.add_argument(
+        "--warm-passes", type=int, default=3, help="repetitions of the warm grid"
+    )
+    parser.add_argument("--steps", type=int, default=6, help="simulated steps per cell")
+    parser.add_argument(
+        "--store",
+        help="store directory for --self (default: a fresh temporary directory)",
+    )
+    parser.add_argument("--out", help="write the JSON report to this file")
+    args = parser.parse_args(argv)
+
+    server = None
+    if args.self_hosted:
+        # Imported lazily so `--url` mode works without PYTHONPATH=src.
+        from repro.serve.http import start_server
+        from repro.serve.service import PlannerService
+
+        store = args.store or tempfile.mkdtemp(prefix="repro-load-serve-")
+        service = PlannerService(store=store)
+        server = start_server(service, host="127.0.0.1", port=0)
+        url = f"http://127.0.0.1:{server.bound_port}"
+    else:
+        url = args.url.rstrip("/")
+        if not _healthz_ok(url):
+            print(f"error: {url}/v1/healthz is not answering", file=sys.stderr)
+            return 1
+
+    try:
+        report = run_load(
+            url,
+            clients=args.clients,
+            requests=args.requests,
+            warm_passes=args.warm_passes,
+            steps=args.steps,
+        )
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+
+    text = json.dumps(report, indent=2)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    failures: Dict[str, int] = {
+        phase: stats["failures"] for phase, stats in report["phases"].items()
+    }
+    if any(failures.values()):
+        print(f"error: non-200 responses: {failures}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
