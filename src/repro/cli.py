@@ -16,7 +16,11 @@ Six subcommands mirror the levels of the system:
   store warming and health/stats probes) as a versioned HTTP JSON API,
   answering hot queries from the store with zero simulations,
 * ``cache`` — inspect (``stats``), prune (``gc``) or dump (``export``) a
-  persistent experiment store.
+  persistent experiment store,
+* ``profile`` — run a fixed ``run``/``sweep``/``cluster``/``tune``
+  workload under a span recorder and emit a per-span timing breakdown
+  (plus an optional ``--trace-out`` chrome-trace file for
+  ``chrome://tracing`` / Perfetto).
 
 ``run``/``sweep``/``cluster``/``tune`` accept ``--store PATH`` (default:
 the ``REPRO_STORE`` environment variable) to hydrate results from and
@@ -27,7 +31,9 @@ embed the session's warm/cold summary.
 
 Every subcommand prints a JSON document to stdout (or ``--out FILE``), so
 the CLI composes with ``jq``/notebooks the same way the benchmark JSON
-artifacts do.  ``--version`` prints the library version and exits.
+artifacts do.  ``--version`` prints the library version and exits; the
+global ``--log-level`` / ``--log-json`` flags configure structured
+logging for every subcommand (see ``docs/OBSERVABILITY.md``).
 
 Documented in ``docs/TUNING.md`` (tune), ``docs/CACHING.md`` (store and
 backends) and the README (run/sweep/cluster).
@@ -64,6 +70,8 @@ from repro.core.config import (
 )
 from repro.core.session import Session
 from repro.errors import ReproError
+from repro.obs.logs import configure_logging
+from repro.obs.profiler import PROFILE_KINDS, format_breakdown, profile_workload
 from repro.store import BACKENDS, ExperimentStore
 from repro.version import __version__
 
@@ -424,6 +432,65 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_workload_for(args: argparse.Namespace):
+    """A zero-argument workload callable for one ``profile`` kind.
+
+    Each workload is a small, fixed, deterministic exercise of the
+    corresponding subsystem — big enough for the span breakdown to be
+    representative, small enough to finish in seconds.  ``--store``
+    applies exactly as for the real subcommands, so profiling against a
+    warm store shows the hydration fast path instead of simulations.
+    """
+    session = _session(args)
+    if args.kind == "run":
+        config = ExperimentConfig(simulated_steps=args.steps)
+        return lambda: session.run(config)
+    if args.kind == "sweep":
+        base = ExperimentConfig(simulated_steps=args.steps)
+        return lambda: session.sweep(
+            base,
+            batch_sizes=[128, 256],
+            num_gpus=[2, 4],
+            strategies=["DP", "TR+DPU+AHD"],
+        )
+    if args.kind == "cluster":
+        cluster = default_cluster()
+        workload = arrival_process(
+            "poisson", 32, rate=0.5, seed=0, mix=DEFAULT_MIX
+        )
+        return lambda: run_policy_comparison(
+            cluster, workload, policies=("fifo",), session=session
+        )
+    # tune (the parser restricts the choices)
+    from repro.tune.space import TuneSpace
+
+    space = TuneSpace(
+        strategies=("DP", "TR+DPU+AHD"),
+        batch_sizes=(128, 256),
+        gpu_counts=(2, 4),
+    )
+    return lambda: session.tune(
+        space, budget=16, seed=0, simulated_steps=args.steps
+    )
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    report = profile_workload(args.kind, _profile_workload_for(args))
+    if args.trace_out:
+        try:
+            Path(args.trace_out).write_text(
+                json.dumps(report.chrome_trace, indent=2)
+            )
+        except OSError as error:
+            raise ReproError(
+                f"cannot write --trace-out {args.trace_out!r}: {error}"
+            ) from error
+        print(f"wrote {args.trace_out}", file=sys.stderr)
+    print(format_breakdown(report), file=sys.stderr)
+    _emit(report.to_dict(), args.out)
+    return 0
+
+
 # ---------------------------------------------------------------------- #
 # Parser
 # ---------------------------------------------------------------------- #
@@ -437,6 +504,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="version",
         version=f"%(prog)s {__version__}",
         help="print the library version and exit",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="WARNING",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+        help="log threshold for the 'repro' logger tree (default: WARNING)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON object per log line (machine-readable)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -634,12 +712,35 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--out", help="write JSON to this file instead of stdout")
     cache_parser.set_defaults(handler=_cmd_cache)
 
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="profile a fixed workload and print a per-span timing breakdown",
+    )
+    profile_parser.add_argument(
+        "kind",
+        choices=PROFILE_KINDS,
+        help="which subsystem workload to profile",
+    )
+    profile_parser.add_argument(
+        "--steps", type=int, default=10, help="simulated steps per cell"
+    )
+    profile_parser.add_argument(
+        "--trace-out",
+        help="also write a chrome-trace JSON file (chrome://tracing, Perfetto)",
+    )
+    profile_parser.add_argument(
+        "--out", help="write the report JSON to this file instead of stdout"
+    )
+    add_store_argument(profile_parser)
+    profile_parser.set_defaults(handler=_cmd_profile)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_level, json_format=args.log_json)
     try:
         return args.handler(args)
     except ReproError as error:

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
@@ -69,6 +70,8 @@ from repro.cluster.spec import ClusterSpec, NodeSpec
 from repro.cluster.workload import JobSpec, Workload
 from repro.core.session import Session
 from repro.errors import ClusterError
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 
 #: Epoch-time memo key: experiment cell + strategy + simulated step count.
 #: Complete by construction — epoch time depends on nothing else (in
@@ -157,6 +160,10 @@ class ClusterSimulator:
         self._epoch_times: Dict[EpochKey, float] = (
             epoch_time_cache if epoch_time_cache is not None else {}
         )
+        # Per-run aggregates the event loops fill with plain local ints and
+        # _flush_metrics pushes to the registry once per run().
+        self._last_events = 0
+        self._last_peak_heap = 0
 
     # ------------------------------------------------------------------ #
     # Service-time model (Session-backed, memoised per cell)
@@ -217,9 +224,48 @@ class ClusterSimulator:
                     f"{self.cluster.max_gpus_per_node} GPUs"
                 )
         trace = resolve_faults(self.faults, self.cluster, workload, seed=self.fault_seed)
-        if trace is None:
-            return self._run_reliable(workload)
-        return self._run_with_faults(workload, trace)
+        started = time.perf_counter()
+        with span(
+            "cluster.run",
+            policy=self.policy.name,
+            jobs=len(workload.jobs),
+            faulted=trace is not None,
+        ):
+            if trace is None:
+                report = self._run_reliable(workload)
+            else:
+                report = self._run_with_faults(workload, trace)
+        self._flush_metrics(report, time.perf_counter() - started)
+        return report
+
+    def _flush_metrics(self, report: ClusterReport, duration_s: float) -> None:
+        """Push one run's aggregate counters to the metrics registry.
+
+        The event loop itself only bumps plain local integers (see
+        ``_run_reliable`` / ``_run_with_faults``); everything crosses into
+        the registry exactly once per run, keeping the instrumented loop
+        within the ≤5% overhead budget of ``bench_cluster_throughput``.
+        """
+        registry = get_registry()
+        policy = self.policy.name
+        registry.counter(
+            "repro_cluster_runs_total", "completed fleet simulations"
+        ).inc(policy=policy)
+        registry.counter(
+            "repro_cluster_events_total",
+            "event-loop events processed (completions, arrivals, "
+            "placements, fault-timeline actions)",
+        ).inc(self._last_events, policy=policy)
+        registry.counter(
+            "repro_cluster_faults_total", "fault events injected"
+        ).inc(len(report.fault_events), policy=policy)
+        registry.gauge(
+            "repro_cluster_heap_depth_peak",
+            "peak completion-heap depth (gangs in flight) of the last run",
+        ).set(self._last_peak_heap, policy=policy)
+        registry.histogram(
+            "repro_cluster_run_seconds", "wall time of one fleet simulation"
+        ).observe(duration_s)
 
     # ------------------------------------------------------------------ #
     # Reliable event loop (no faults attached — the original fast path)
@@ -234,6 +280,8 @@ class ClusterSimulator:
         queue: List[JobSpec] = []
         records: List[JobRecord] = []
         now = 0.0
+        events = 0
+        peak_heap = 0
 
         while next_arrival < len(arrivals) or queue or running:
             event_times = []
@@ -255,12 +303,14 @@ class ClusterSimulator:
             while running and running[0][0] <= now:
                 _, _, job, node_name = heapq.heappop(running)
                 free[node_name] += job.gpus
+                events += 1
             while (
                 next_arrival < len(arrivals)
                 and arrivals[next_arrival].arrival_time <= now
             ):
                 queue.append(arrivals[next_arrival])
                 next_arrival += 1
+                events += 1
 
             # Drain the queue as far as the policy allows at this instant.
             while queue:
@@ -275,6 +325,9 @@ class ClusterSimulator:
                 free[node.name] -= job.gpus
                 queue.remove(job)
                 heapq.heappush(running, (finish, next(sequence), job, node.name))
+                events += 1
+                if len(running) > peak_heap:
+                    peak_heap = len(running)
                 records.append(
                     JobRecord(
                         job_id=job.job_id,
@@ -288,6 +341,8 @@ class ClusterSimulator:
                     )
                 )
 
+        self._last_events = events
+        self._last_peak_heap = peak_heap
         return ClusterReport(
             policy=self.policy.name,
             cluster_name=self.cluster.name,
@@ -350,6 +405,8 @@ class ClusterSimulator:
         # the (final-node) completion records alone.
         node_busy: Dict[str, float] = {name: 0.0 for name in capacity}
         now = 0.0
+        events = 0
+        peak_heap = 0
 
         def free_map() -> Dict[str, int]:
             return {
@@ -374,6 +431,8 @@ class ClusterSimulator:
         def start_attempt(
             job: JobSpec, node: NodeSpec, gpus: int, t: float, action: str
         ) -> None:
+            nonlocal events, peak_heap
+            events += 1
             prog = progress[job.job_id]
             overhead = 0.0 if prog.attempts == 0 else self.recovery.overhead(action)
             attempt_full = self.service_time(sized_job(job, gpus), node)
@@ -394,6 +453,8 @@ class ClusterSimulator:
                 finish=finish,
             )
             heapq.heappush(heap, (finish, seq))
+            if len(heap) > peak_heap:
+                peak_heap = len(heap)
             used[node.name] += gpus
             if prog.first_start is None:
                 prog.first_start = t
@@ -551,12 +612,14 @@ class ClusterSimulator:
             # 1. Completions first, so freed gangs are placeable this instant.
             while heap and heap[0][0] <= now:
                 finish, seq = heapq.heappop(heap)
+                events += 1
                 complete(entries[seq], finish)
 
             # 2. Fault-timeline events due at this instant, in trace order.
             dirty = False
             while timeline and timeline[0][0] <= now:
                 _, _, action, payload = timeline.popleft()
+                events += 1
                 event, token = payload
                 name = event.node
                 if action == "crash":
@@ -601,10 +664,13 @@ class ClusterSimulator:
             ):
                 queue.append(arrivals[next_arrival])
                 next_arrival += 1
+                events += 1
 
             # 4. Drain the queue as far as the placement policy allows.
             drain(now)
 
+        self._last_events = events
+        self._last_peak_heap = peak_heap
         return ClusterReport(
             policy=self.policy.name,
             cluster_name=self.cluster.name,

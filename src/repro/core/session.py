@@ -49,6 +49,7 @@ from __future__ import annotations
 import itertools
 import json
 import threading
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -59,6 +60,8 @@ from repro.data.dataset import DatasetSpec
 from repro.errors import ConfigurationError
 from repro.hardware.server import ServerSpec
 from repro.models.pairs import DistillationPair
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.parallel.executor import ExecutionResult, ScheduleExecutor
 from repro.parallel.profiler import ProfileTable
 from repro.parallel.registry import REGISTRY
@@ -70,6 +73,18 @@ PairKey = Tuple[str, str]
 ServerKey = Tuple[str, int]
 ProfileKey = Tuple[str, str, str, int, int]
 ExecutorKey = Tuple[str, str, str, int, int]
+
+
+def _observe_run(started: float, outcome: str) -> None:
+    """Record one Session.run completion in the process-wide registry."""
+    registry = get_registry()
+    registry.counter(
+        "repro_session_runs_total",
+        "Session.run completions by outcome (simulated vs store_hit)",
+    ).inc(outcome=outcome)
+    registry.histogram(
+        "repro_session_run_seconds", "Session.run wall time"
+    ).observe(time.perf_counter() - started)
 
 
 @dataclass
@@ -416,9 +431,10 @@ class Session:
         key: ProfileKey = config.cell_key()
         with self._lock:
             if key not in self._profiles:
-                self._profiles[key] = make_profile(
-                    self.pair(config), self.server(config), config.batch_size
-                )
+                with span("session.profile_table", cell=config.cell_label()):
+                    self._profiles[key] = make_profile(
+                        self.pair(config), self.server(config), config.batch_size
+                    )
                 self.stats.profile_builds += 1
             else:
                 self.stats.profile_hits += 1
@@ -464,27 +480,33 @@ class Session:
         name = strategy if strategy is not None else config.strategy
         planner = REGISTRY.get(name)
         use_store = self._store is not None and profile is None
-        if use_store:
-            cached = self._store.get("run", run_key(config, name))
-            if cached is not None:
-                with self._lock:
-                    self.stats.store_hits += 1
-                return ExecutionResult.from_dict(cached)
-        if planner.requires_profile and profile is None:
-            profile = self.profile(config)
-        plan = planner.build(
-            self.pair(config),
-            self.server(config),
-            config.batch_size,
-            self.dataset(config),
-            profile=profile,
-        )
-        result = self.executor(config).execute(plan)
-        with self._lock:
-            self.stats.runs += 1
-        if use_store:
-            self.put_run(config, name, result.to_dict())
-        return result
+        started = time.perf_counter()
+        with span("session.run", strategy=name, cell=config.cell_label()):
+            if use_store:
+                cached = self._store.get("run", run_key(config, name))
+                if cached is not None:
+                    with self._lock:
+                        self.stats.store_hits += 1
+                    _observe_run(started, "store_hit")
+                    return ExecutionResult.from_dict(cached)
+            if planner.requires_profile and profile is None:
+                profile = self.profile(config)
+            with span("session.plan", strategy=name):
+                plan = planner.build(
+                    self.pair(config),
+                    self.server(config),
+                    config.batch_size,
+                    self.dataset(config),
+                    profile=profile,
+                )
+            with span("session.execute", strategy=name):
+                result = self.executor(config).execute(plan)
+            with self._lock:
+                self.stats.runs += 1
+            if use_store:
+                self.put_run(config, name, result.to_dict())
+            _observe_run(started, "simulated")
+            return result
 
     # ------------------------------------------------------------------ #
     # Store plumbing (used by run() and the execution backends)
@@ -602,7 +624,16 @@ class Session:
         tasks = [
             (config, strategy) for config in configs for strategy in strategy_set
         ]
-        results = chosen.run_cells(self, tasks)
+        get_registry().counter(
+            "repro_session_sweeps_total", "Session.sweep grid evaluations"
+        ).inc(backend=chosen.name)
+        with span(
+            "session.sweep",
+            cells=len(configs),
+            tasks=len(tasks),
+            backend=chosen.name,
+        ):
+            results = chosen.run_cells(self, tasks)
         if len(results) != len(tasks):
             raise ConfigurationError(
                 f"backend {chosen.name!r} returned {len(results)} results for "
@@ -686,19 +717,23 @@ class Session:
         """
         from repro.tune.tuner import tune as run_tune
 
-        return run_tune(
-            space,
-            objective=objective,
-            driver=driver,
-            budget=budget,
-            seed=seed,
-            session=self,
-            simulated_steps=simulated_steps,
-            throughput_jobs=throughput_jobs,
-            faults=faults,
-            elastic=elastic,
-            fault_seed=fault_seed,
-        )
+        get_registry().counter(
+            "repro_session_tunes_total", "Session.tune searches"
+        ).inc(driver=str(driver))
+        with span("session.tune", driver=str(driver), budget=budget):
+            return run_tune(
+                space,
+                objective=objective,
+                driver=driver,
+                budget=budget,
+                seed=seed,
+                session=self,
+                simulated_steps=simulated_steps,
+                throughput_jobs=throughput_jobs,
+                faults=faults,
+                elastic=elastic,
+                fault_seed=fault_seed,
+            )
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,151 @@
+"""Structured logging: stdlib ``logging`` with a JSON formatter and a
+per-request ``request_id`` propagated via :mod:`contextvars`.
+
+All library logging goes through ``repro.*`` loggers obtained from
+:func:`get_logger`; nothing is configured at import time (library code
+must not hijack the host application's logging).  The CLI's global
+``--log-level`` / ``--log-json`` flags and the serve transports call
+:func:`configure_logging` exactly once to attach a stderr handler with
+either the human one-line format or :class:`JsonFormatter`.
+
+Every record formatted by :class:`JsonFormatter` carries the current
+``request_id`` (when one is bound), so a single grep over the serve log
+reconstructs one request's full story across service, store, and
+session layers.  Documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import threading
+from contextvars import ContextVar
+from typing import Optional
+
+__all__ = [
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+    "request_id_var",
+    "bind_request_id",
+    "current_request_id",
+    "new_request_id",
+]
+
+#: The request id bound to the current thread/async context (serve only).
+request_id_var: ContextVar[Optional[str]] = ContextVar(
+    "repro_request_id", default=None
+)
+
+_request_counter_lock = threading.Lock()
+_request_counter = 0
+
+#: Attributes every LogRecord carries; anything else is caller-supplied
+#: ``extra`` and gets surfaced as a structured field.
+_STANDARD_ATTRS = frozenset(
+    vars(
+        logging.LogRecord("", 0, "", 0, "", (), None)
+    )
+) | {"message", "asctime", "taskName"}
+
+
+def new_request_id() -> str:
+    """A process-unique request id (``req-000001``, ``req-000002``, ...).
+
+    Deterministic per process — a seeded counter, not a UUID — so test
+    assertions and trace/log cross-references stay reproducible.
+    """
+    global _request_counter
+    with _request_counter_lock:
+        _request_counter += 1
+        return f"req-{_request_counter:06d}"
+
+
+def bind_request_id(request_id: Optional[str]):
+    """Bind ``request_id`` to the current context; returns the reset token."""
+    return request_id_var.set(request_id)
+
+
+def current_request_id() -> Optional[str]:
+    return request_id_var.get()
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, message, request_id,
+    plus any ``extra={...}`` fields passed at the call site.
+
+    Example:
+        >>> import logging
+        >>> from repro.obs.logs import JsonFormatter
+        >>> record = logging.LogRecord(
+        ...     "repro.demo", logging.INFO, __file__, 1, "hello %s", ("world",), None
+        ... )
+        >>> payload = __import__("json").loads(JsonFormatter().format(record))
+        >>> (payload["level"], payload["logger"], payload["message"])
+        ('INFO', 'repro.demo', 'hello world')
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        request_id = request_id_var.get()
+        if request_id is not None:
+            payload["request_id"] = request_id
+        for key, value in vars(record).items():
+            if key not in _STANDARD_ATTRS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class _HumanFormatter(logging.Formatter):
+    """``LEVEL logger: message [request_id]`` — the non-JSON default."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = f"{record.levelname} {record.name}: {record.getMessage()}"
+        request_id = request_id_var.get()
+        if request_id is not None:
+            base = f"{base} [{request_id}]"
+        if record.exc_info and record.exc_info[0] is not None:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A namespaced library logger (``repro.<name>`` unless already so)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: str = "WARNING",
+    json_format: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` root logger.
+
+    Idempotent: reconfiguring replaces the handler installed by a prior
+    call instead of stacking duplicates.  Returns the ``repro`` logger.
+    """
+    root = logging.getLogger("repro")
+    numeric = logging.getLevelName(str(level).upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_format else _HumanFormatter())
+    handler.set_name("repro-obs")
+    for existing in list(root.handlers):
+        if existing.get_name() == "repro-obs":
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return root

@@ -41,7 +41,7 @@ def create_app(service: Optional[PlannerService] = None, **service_kwargs):
     """
     try:
         from fastapi import FastAPI, Request
-        from fastapi.responses import JSONResponse
+        from fastapi.responses import JSONResponse, PlainTextResponse
     except ImportError as error:
         raise ReproError(_INSTALL_HINT) from error
 
@@ -64,9 +64,12 @@ def create_app(service: Optional[PlannerService] = None, **service_kwargs):
     app.state.service = service
 
     def _make_endpoint(method: str, path: str):
-        async def endpoint(request: Request) -> JSONResponse:
+        async def endpoint(request: Request):
             raw = await request.body() if method == "POST" else b""
             status, payload = service.dispatch_raw(method, path, raw)
+            if isinstance(payload, str):
+                # /v1/metrics: Prometheus text exposition, not JSON.
+                return PlainTextResponse(payload, status_code=status)
             return JSONResponse(payload, status_code=status)
 
         endpoint.__name__ = (

@@ -28,15 +28,21 @@ __all__ = ["ClientResponse", "LocalClient"]
 class ClientResponse:
     """Minimal response object mirroring the httpx/requests surface."""
 
-    def __init__(self, status_code: int, payload: dict) -> None:
+    def __init__(self, status_code: int, payload) -> None:
         self.status_code = status_code
         self._payload = payload
 
     def json(self) -> dict:
+        if isinstance(self._payload, str):
+            # /v1/metrics serves Prometheus text, not JSON — same error an
+            # httpx client would raise on a text/plain body.
+            raise ValueError("response payload is text, not JSON; use .text")
         return self._payload
 
     @property
     def text(self) -> str:
+        if isinstance(self._payload, str):
+            return self._payload
         return _json.dumps(self._payload, indent=2)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -37,9 +37,15 @@ class _PlannerRequestHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
         status, payload = self.server.service.dispatch_raw(method, self.path, raw)
-        data = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        if isinstance(payload, str):
+            # /v1/metrics: the Prometheus text exposition, not JSON.
+            data = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)

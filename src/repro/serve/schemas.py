@@ -177,13 +177,17 @@ class RequestWarmCold(BaseModel):
     ``simulations`` is the number of discrete-event simulations this one
     request caused; ``warm`` is true when it caused none — the observable
     form of the "second identical query performs zero simulations"
-    guarantee.
+    guarantee.  ``request_id`` / ``duration_ms`` are stamped by the
+    dispatch telemetry wrapper and cross-reference the server's
+    structured log lines and ``/v1/metrics`` histograms.
     """
 
     simulations: int
     store_hits: int
     store_builds: int
     warm: bool
+    request_id: str
+    duration_ms: float
 
 
 class ResponseMeta(BaseModel):
@@ -214,6 +218,8 @@ class ErrorResponse(BaseModel):
 class HealthResponse(BaseModel):
     status: str
     version: str
+    uptime_s: float
+    requests_served: int
     has_store: bool
     store_root: Optional[str] = None
     backend: str

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
@@ -53,6 +54,9 @@ from repro.core.config import (
 )
 from repro.core.session import Session
 from repro.errors import ReproError
+from repro.obs.logs import bind_request_id, get_logger, new_request_id, request_id_var
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.parallel.registry import REGISTRY
 from repro.serve.schemas import (
     ClusterRequest,
@@ -66,7 +70,12 @@ from repro.store.backends import BACKENDS, ExecutionBackend
 from repro.store.store import ExperimentStore
 from repro.version import __version__
 
-Response = Tuple[int, dict]
+#: ``(status, payload)``; the payload is a JSON-ready dict for every
+#: endpoint except ``GET /v1/metrics``, whose payload is the Prometheus
+#: text exposition as a plain string (transports render it text/plain).
+Response = Tuple[int, Union[dict, str]]
+
+_LOG = get_logger("serve")
 
 #: Arrival-process kinds ``/v1/cluster`` generates (mirrors the CLI choices).
 ARRIVAL_KINDS = ("poisson", "bursty")
@@ -139,8 +148,12 @@ class PlannerService:
         # for microseconds (a shard lookup), so concurrent warm clients
         # still see sub-millisecond service times.
         self._lock = threading.Lock()
+        self._started = time.monotonic()
+        #: Completed dispatches (any status), reported by /v1/healthz.
+        self._requests_served = 0
         self._routes: Dict[Tuple[str, str], Callable[[Optional[dict]], Response]] = {
             ("GET", "/v1/healthz"): self._healthz,
+            ("GET", "/v1/metrics"): self._metrics,
             ("GET", "/v1/store/stats"): self._store_stats,
             ("POST", "/v1/plan"): self._plan,
             ("POST", "/v1/sweep"): self._sweep,
@@ -163,8 +176,69 @@ class PlannerService:
         return tuple(method for method, route in self._routes if route == path)
 
     def dispatch(self, method: str, path: str, body: Optional[dict]) -> Response:
-        """Route one request; every failure mode becomes a clean JSON body."""
+        """Route one request; every failure mode becomes a clean JSON body.
+
+        Every dispatch — success or error — is measured: a per-endpoint
+        latency histogram and status-labelled request counter, an
+        in-flight gauge, a warm/cold counter for compute endpoints, and a
+        process-unique ``request_id`` bound to the logging context and
+        echoed (with ``duration_ms``) in the response's ``meta.request``.
+        """
         path = path.partition("?")[0].rstrip("/") or "/"
+        endpoint = path if path in self.paths() else "unknown"
+        registry = get_registry()
+        request_id = new_request_id()
+        token = bind_request_id(request_id)
+        in_flight = registry.gauge(
+            "repro_http_in_flight", "requests currently being handled"
+        )
+        in_flight.inc()
+        started = time.perf_counter()
+        try:
+            with span("serve.dispatch", endpoint=endpoint, method=method.upper()):
+                status, payload = self._route(method, path, body)
+        finally:
+            in_flight.dec()
+            request_id_var.reset(token)
+        duration_s = time.perf_counter() - started
+        registry.histogram(
+            "repro_http_request_seconds", "request latency by endpoint"
+        ).observe(duration_s, endpoint=endpoint)
+        registry.counter(
+            "repro_http_requests_total", "dispatched requests by endpoint and status"
+        ).inc(endpoint=endpoint, status=str(status))
+        if isinstance(payload, dict):
+            request_meta = payload.get("meta", {}).get("request")
+            if isinstance(request_meta, dict):
+                request_meta["request_id"] = request_id
+                request_meta["duration_ms"] = round(duration_s * 1e3, 3)
+                registry.counter(
+                    "repro_http_warm_cold_total",
+                    "compute requests by cache temperature",
+                ).inc(
+                    endpoint=endpoint,
+                    temperature="warm" if request_meta.get("warm") else "cold",
+                )
+        self._requests_served += 1
+        _LOG.info(
+            "%s %s -> %d in %.1f ms",
+            method.upper(),
+            path,
+            status,
+            duration_s * 1e3,
+            # The contextvar is already reset (the handler is done); carry
+            # the id explicitly so the log line still cross-references.
+            extra={
+                "endpoint": endpoint,
+                "status": status,
+                "duration_ms": round(duration_s * 1e3, 3),
+                "request_id": request_id,
+            },
+        )
+        return status, payload
+
+    def _route(self, method: str, path: str, body: Optional[dict]) -> Response:
+        """The routing core dispatch() wraps with telemetry."""
         handler = self._routes.get((method.upper(), path))
         if handler is None:
             if path in self.paths():
@@ -245,11 +319,17 @@ class PlannerService:
         return 200, {
             "status": "ok",
             "version": __version__,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "requests_served": self._requests_served,
             "has_store": store is not None,
             "store_root": str(store.root) if store is not None else None,
             "backend": self.session.backend.name,
             "endpoints": list(self.paths()),
         }
+
+    def _metrics(self, _body: Optional[dict]) -> Response:
+        """The process-wide registry in Prometheus text exposition format."""
+        return 200, get_registry().render_prometheus()
 
     def _store_stats(self, _body: Optional[dict]) -> Response:
         store = self.session.store

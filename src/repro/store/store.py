@@ -48,7 +48,13 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
 from repro.errors import StoreError, StoreSchemaError
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.store.keys import SCHEMA_VERSION, canonical_json, content_key
+
+#: Bucket boundaries for the lines-scanned-per-shard histogram (records,
+#: not seconds — sized for shards from a handful of lines to ~100k).
+SCAN_LINE_BUCKETS = (1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0)
 
 #: Identifies a directory as an experiment store (guards against pointing
 #: ``--store`` at an unrelated directory and gc'ing it).
@@ -251,19 +257,37 @@ class ExperimentStore:
             return self._index.setdefault(prefix, index)
 
     def _read_shard(self, prefix: str):
-        """One pass over a shard file: (key -> record index, invalid lines)."""
+        """One pass over a shard file: (key -> record index, invalid lines).
+
+        Every pass is timed and sized into the ``repro_store_shard_scan_*``
+        histograms — the data ROADMAP item 2 (read-optimized index) waits
+        on: when scans dominate the serve latency profile, these say so.
+        """
         path = self._shard_path(prefix)
         index: Dict[str, dict] = {}
         bad_lines: List[str] = []
-        if path.exists():
-            for line in path.read_text().splitlines():
-                if not line.strip():
-                    continue
-                record = self._parse_record(line)
-                if record is None:
-                    bad_lines.append(line)
-                else:
-                    index[record["key"]] = record
+        lines_scanned = 0
+        started = time.perf_counter()
+        with span("store.scan", shard=prefix):
+            if path.exists():
+                for line in path.read_text().splitlines():
+                    if not line.strip():
+                        continue
+                    lines_scanned += 1
+                    record = self._parse_record(line)
+                    if record is None:
+                        bad_lines.append(line)
+                    else:
+                        index[record["key"]] = record
+        registry = get_registry()
+        registry.histogram(
+            "repro_store_shard_scan_seconds", "wall time of one JSONL shard scan"
+        ).observe(time.perf_counter() - started)
+        registry.histogram(
+            "repro_store_shard_scan_lines",
+            "record lines parsed per shard scan",
+            buckets=SCAN_LINE_BUCKETS,
+        ).observe(lines_scanned)
         return index, bad_lines
 
     @staticmethod
@@ -309,13 +333,21 @@ class ExperimentStore:
         never poison later hydrations of the same key.
         """
         key = content_key(kind, key_payload)
-        record = self._load_shard(self._prefix(key)).get(key)
-        with self._lock:
-            if record is None or record["kind"] != kind:
-                self._misses += 1
+        with span("store.get", kind=kind):
+            record = self._load_shard(self._prefix(key)).get(key)
+            hit = record is not None and record["kind"] == kind
+            with self._lock:
+                if hit:
+                    self._hits += 1
+                else:
+                    self._misses += 1
+            get_registry().counter(
+                "repro_store_lookups_total", "store lookups by result"
+            ).inc(result="hit" if hit else "miss")
+            if not hit:
                 return None
-            self._hits += 1
-        return copy.deepcopy(record["value"])
+            with span("store.hydrate", kind=kind):
+                return copy.deepcopy(record["value"])
 
     def contains(self, kind: str, key_payload: dict) -> bool:
         """Whether a record exists, without touching the hit/miss counters."""
@@ -335,13 +367,17 @@ class ExperimentStore:
         }
         line = canonical_json(record) + "\n"
         prefix = self._prefix(key)
-        with self._disk_mutation_lock():
-            with open(self._shard_path(prefix), "a") as handle:
-                handle.write(line)
-            with self._lock:
-                if prefix in self._index:
-                    self._index[prefix][key] = record
-                self._puts += 1
+        with span("store.put", kind=kind, shard=prefix):
+            with self._disk_mutation_lock():
+                with open(self._shard_path(prefix), "a") as handle:
+                    handle.write(line)
+                with self._lock:
+                    if prefix in self._index:
+                        self._index[prefix][key] = record
+                    self._puts += 1
+        get_registry().counter(
+            "repro_store_puts_total", "records appended to the store"
+        ).inc(kind=kind)
         return key
 
     def refresh(self) -> None:

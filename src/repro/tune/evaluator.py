@@ -49,12 +49,21 @@ from repro.core.session import Session
 from repro.data.loader import DataLoadModel
 from repro.errors import ConfigurationError
 from repro.models.layers import BYTES_PER_ELEMENT
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.parallel.estimator import StageTimeEstimator
 from repro.parallel.plan import SchedulePlan
 from repro.parallel.registry import REGISTRY
 from repro.store.keys import estimate_key, goodput_key, throughput_key
 from repro.tune.objective import TuneMeasurement, cost_per_epoch
 from repro.tune.space import TunePoint
+
+
+def _count_probe(fidelity: str) -> None:
+    """One evaluator probe (memo hits included) by fidelity."""
+    get_registry().counter(
+        "repro_tune_probes_total", "TuneEvaluator probes by fidelity"
+    ).inc(fidelity=fidelity)
 
 
 @dataclass
@@ -142,6 +151,7 @@ class TuneEvaluator:
         a persistent store — hydrated from / written through it, so a
         restarted tuning run re-derives no analytic model either.
         """
+        _count_probe("estimate")
         key = point.cell_signature()
         if key in self._estimates:
             self.stats.estimate_hits += 1
@@ -160,26 +170,29 @@ class TuneEvaluator:
                 self._estimates[key] = measurement
                 self.stats.store_hydrations += 1
                 return measurement
-        config = point.config(self.simulated_steps)
-        session = self.session
-        pair = session.pair(config)
-        server = session.server(config)
-        dataset = session.dataset(config)
-        planner = REGISTRY.get(point.strategy)
-        profile = session.profile(config) if planner.requires_profile else None
-        plan = planner.build(pair, server, config.batch_size, dataset, profile=profile)
+        with span("tune.estimate", point=point.label()):
+            config = point.config(self.simulated_steps)
+            session = self.session
+            pair = session.pair(config)
+            server = session.server(config)
+            dataset = session.dataset(config)
+            planner = REGISTRY.get(point.strategy)
+            profile = session.profile(config) if planner.requires_profile else None
+            plan = planner.build(
+                pair, server, config.batch_size, dataset, profile=profile
+            )
 
-        if plan.kind == "pipeline":
-            if profile is None:
-                profile = session.profile(config)
-            estimator = StageTimeEstimator(pair, server, dataset, profile)
-            step_time = self._pipeline_step_time(plan, estimator)
-        elif plan.kind == "layerwise":
-            step_time = self._layerwise_step_time(plan, config)
-        else:
-            step_time = self._data_parallel_step_time(plan, config)
+            if plan.kind == "pipeline":
+                if profile is None:
+                    profile = session.profile(config)
+                estimator = StageTimeEstimator(pair, server, dataset, profile)
+                step_time = self._pipeline_step_time(plan, estimator)
+            elif plan.kind == "layerwise":
+                step_time = self._layerwise_step_time(plan, config)
+            else:
+                step_time = self._data_parallel_step_time(plan, config)
 
-        epoch_time = step_time * dataset.steps_per_epoch(config.batch_size)
+            epoch_time = step_time * dataset.steps_per_epoch(config.batch_size)
         measurement = TuneMeasurement(
             point=point,
             epoch_time=epoch_time,
@@ -288,13 +301,15 @@ class TuneEvaluator:
     # ------------------------------------------------------------------ #
     def measure(self, point: TunePoint, steps: Optional[int] = None) -> TuneMeasurement:
         """Run the cell's discrete-event simulation, memoised by fidelity."""
+        _count_probe("simulate")
         steps = self.simulated_steps if steps is None else steps
         key = point.cell_signature() + (steps,)
         if key in self._measurements:
             self.stats.simulation_hits += 1
             return replace(self._measurements[key], point=point)
         runs_before = self.session.stats.runs
-        result = self.session.run(point.config(steps))
+        with span("tune.measure", point=point.label(), steps=steps):
+            result = self.session.run(point.config(steps))
         measurement = TuneMeasurement(
             point=point,
             epoch_time=result.epoch_time,
@@ -327,6 +342,7 @@ class TuneEvaluator:
                 f"candidate {point.label()!r} has no placement policy; "
                 "throughput objectives need a space with a policies axis"
             )
+        _count_probe("throughput")
         steps = self.simulated_steps if steps is None else steps
         cluster = point.cluster if point.cluster is not None else default_cluster()
         # Memoise on the spec itself, not its name: two candidate fleets may
@@ -356,7 +372,8 @@ class TuneEvaluator:
             session=self.session,
             epoch_time_cache=self._cluster_epoch_times,
         )
-        report = simulator.run(workload)
+        with span("tune.throughput", point=point.label()):
+            report = simulator.run(workload)
         self._throughputs[key] = report.jobs_per_hour
         self.stats.cluster_probes += 1
         if store is not None:
@@ -403,6 +420,7 @@ class TuneEvaluator:
                 f"candidate {point.label()!r} has no placement policy; "
                 "fault-goodput objectives need a space with a policies axis"
             )
+        _count_probe("goodput")
         steps = self.simulated_steps if steps is None else steps
         cluster = point.cluster if point.cluster is not None else default_cluster()
         faults = self.faults if self.faults is not None else FAULT_PRESETS["bursty-preemption"]
@@ -452,7 +470,8 @@ class TuneEvaluator:
             recovery=self.recovery,
             fault_seed=self.fault_seed,
         )
-        report = simulator.run(workload)
+        with span("tune.goodput", point=point.label()):
+            report = simulator.run(workload)
         value = report.goodput_jobs_per_hour
         self._goodputs[key] = value
         self.stats.goodput_probes += 1

@@ -1,0 +1,126 @@
+"""Structured logging: JSON lines, request-id propagation, idempotent setup."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import (
+    JsonFormatter,
+    bind_request_id,
+    configure_logging,
+    current_request_id,
+    get_logger,
+    new_request_id,
+    request_id_var,
+)
+
+
+@pytest.fixture
+def stream():
+    return io.StringIO()
+
+
+@pytest.fixture
+def logger(stream):
+    configured = configure_logging("INFO", json_format=True, stream=stream)
+    yield configured
+    # Restore the suite-wide default so other tests see no stray handler.
+    configure_logging("WARNING", json_format=False)
+
+
+def log_lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestRequestIds:
+    def test_ids_are_sequential_and_prefixed(self):
+        first, second = new_request_id(), new_request_id()
+        assert first.startswith("req-") and second.startswith("req-")
+        assert int(second[4:]) == int(first[4:]) + 1
+
+    def test_bind_and_reset(self):
+        assert current_request_id() is None or isinstance(
+            current_request_id(), str
+        )
+        token = bind_request_id("req-xyz")
+        assert current_request_id() == "req-xyz"
+        request_id_var.reset(token)
+        assert current_request_id() != "req-xyz"
+
+
+class TestJsonFormatter:
+    def test_core_fields(self, logger, stream):
+        get_logger("unit").info("hello %s", "world")
+        (line,) = log_lines(stream)
+        assert line["message"] == "hello world"
+        assert line["level"] == "INFO"
+        assert line["logger"] == "repro.unit"
+        assert isinstance(line["ts"], float)
+
+    def test_extra_fields_ride_along(self, logger, stream):
+        get_logger("unit").info("x", extra={"endpoint": "/v1/plan", "status": 200})
+        (line,) = log_lines(stream)
+        assert line["endpoint"] == "/v1/plan"
+        assert line["status"] == 200
+
+    def test_bound_request_id_is_stamped(self, logger, stream):
+        token = bind_request_id("req-000042")
+        try:
+            get_logger("unit").info("x")
+        finally:
+            request_id_var.reset(token)
+        (line,) = log_lines(stream)
+        assert line["request_id"] == "req-000042"
+
+    def test_exceptions_carry_type_and_text(self, logger, stream):
+        try:
+            raise RuntimeError("kaboom")
+        except RuntimeError:
+            get_logger("unit").exception("failed")
+        (line,) = log_lines(stream)
+        assert line["exc_type"] == "RuntimeError"
+        assert "kaboom" in line["exc"]
+
+    def test_formatter_is_usable_standalone(self):
+        record = logging.LogRecord(
+            "repro.x", logging.INFO, __file__, 1, "m", (), None
+        )
+        parsed = json.loads(JsonFormatter().format(record))
+        assert parsed["message"] == "m"
+
+
+class TestConfigureLogging:
+    def test_reconfiguration_replaces_not_stacks(self, stream):
+        configure_logging("INFO", json_format=True, stream=stream)
+        configured = configure_logging("INFO", json_format=True, stream=stream)
+        named = [h for h in configured.handlers if h.name == "repro-obs"]
+        assert len(named) == 1
+        get_logger("unit").info("once")
+        assert len(log_lines(stream)) == 1
+        configure_logging("WARNING", json_format=False)
+
+    def test_level_gates_output(self, stream):
+        configure_logging("WARNING", json_format=True, stream=stream)
+        get_logger("unit").info("dropped")
+        get_logger("unit").warning("kept")
+        lines = log_lines(stream)
+        assert [line["message"] for line in lines] == ["kept"]
+        configure_logging("WARNING", json_format=False)
+
+    def test_unknown_level_is_refused(self):
+        with pytest.raises(ValueError):
+            configure_logging("LOUD")
+
+    def test_human_format_lines(self, stream):
+        configure_logging("INFO", json_format=False, stream=stream)
+        get_logger("unit").info("plain text")
+        assert "INFO repro.unit: plain text" in stream.getvalue()
+        configure_logging("WARNING", json_format=False)
+
+
+class TestGetLogger:
+    def test_names_are_rooted_under_repro(self):
+        assert get_logger("serve").name == "repro.serve"
+        assert get_logger("repro.serve").name == "repro.serve"

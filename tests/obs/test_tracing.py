@@ -1,0 +1,173 @@
+"""Span tracing: nesting, determinism, ring-buffer bounds, chrome export.
+
+The property test drives randomly-shaped span trees and checks the
+recorder reconstructs exactly the tree that was executed — parentage,
+ids, and ordering are all deterministic functions of the call structure,
+never of wall time.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.tracing import (
+    SpanRecorder,
+    get_recorder,
+    install_recorder,
+    span,
+    uninstall_recorder,
+)
+
+
+def test_span_without_recorder_is_a_shared_noop():
+    assert get_recorder() is None
+    first, second = span("a"), span("b")
+    assert first is second  # the null span singleton: zero allocation
+    with first:
+        pass  # does not raise, records nothing
+
+
+def test_install_and_uninstall():
+    recorder = SpanRecorder()
+    install_recorder(recorder)
+    try:
+        assert get_recorder() is recorder
+    finally:
+        uninstall_recorder(recorder)
+    assert get_recorder() is None
+
+
+def test_uninstall_of_a_non_installed_recorder_is_a_noop():
+    installed = SpanRecorder()
+    other = SpanRecorder()
+    with installed:
+        uninstall_recorder(other)
+        assert get_recorder() is installed
+
+
+def test_nested_spans_record_parentage_and_completion_order():
+    with SpanRecorder(seed=1) as recorder:
+        with span("outer", phase="x"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+    spans = recorder.spans()
+    # Completion order: children before their parent.
+    assert [(s.span_id, s.parent_id, s.name) for s in spans] == [
+        (2, 1, "inner"),
+        (3, 1, "inner"),
+        (1, None, "outer"),
+    ]
+    assert spans[-1].tags == {"phase": "x"}
+    assert [s.name for s in recorder.roots()] == ["outer"]
+    assert [s.span_id for s in recorder.children(1)] == [2, 3]
+
+
+def test_span_ids_are_deterministic_across_runs():
+    def run():
+        with SpanRecorder(seed=7) as recorder:
+            with span("a"):
+                with span("b"):
+                    pass
+        return [(s.span_id, s.parent_id, s.name) for s in recorder.spans()]
+
+    assert run() == run()
+    assert run()[0][0] == 8  # seed=7: root takes 7, child takes 8
+
+
+def test_error_spans_are_tagged_and_still_recorded():
+    with SpanRecorder() as recorder:
+        try:
+            with span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+    (recorded,) = recorder.spans()
+    assert recorded.tags["error"] == "ValueError"
+
+
+def test_ring_buffer_drops_oldest_and_counts_drops():
+    with SpanRecorder(capacity=3) as recorder:
+        for index in range(5):
+            with span(f"s{index}"):
+                pass
+    assert [s.name for s in recorder.spans()] == ["s2", "s3", "s4"]
+    assert recorder.dropped == 2
+
+
+def test_chrome_trace_export_shape():
+    with SpanRecorder() as recorder:
+        with span("outer"):
+            with span("inner", k="v"):
+                pass
+    trace = recorder.chrome_trace()
+    assert trace["displayTimeUnit"] == "ms"
+    events = trace["traceEvents"]
+    assert [e["name"] for e in events] == ["outer", "inner"]  # start order
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["ts"] >= 0 and event["dur"] >= 0
+    assert events[1]["args"]["parent_id"] == events[0]["args"]["span_id"]
+    assert events[1]["args"]["k"] == "v"
+
+
+def test_breakdown_self_time_excludes_children():
+    with SpanRecorder() as recorder:
+        with span("outer"):
+            with span("inner"):
+                pass
+    rows = {row["name"]: row for row in recorder.breakdown()}
+    assert rows["outer"]["self_s"] <= rows["outer"]["total_s"]
+    assert rows["outer"]["self_s"] >= 0
+
+
+# --------------------------------------------------------------------- #
+# Property: arbitrary tree shapes reconstruct exactly.
+# --------------------------------------------------------------------- #
+tree_strategy = st.recursive(
+    st.just([]),
+    lambda children: st.lists(children, min_size=1, max_size=3),
+    max_leaves=12,
+)
+
+
+def _execute(shape, prefix="n"):
+    """Run one span per tree node, depth-first; return the expected tree."""
+    expected = []
+    for index, child in enumerate(shape):
+        name = f"{prefix}.{index}"
+        with span(name):
+            grandchildren = _execute(child, name)
+        expected.append((name, grandchildren))
+    return expected
+
+
+def _reconstruct(recorder, parent_id=None):
+    return [
+        (node.name, _reconstruct(recorder, node.span_id))
+        for node in recorder.children(parent_id)
+    ]
+
+
+def _reconstruct_roots(recorder):
+    return [
+        (root.name, _reconstruct(recorder, root.span_id))
+        for root in recorder.roots()
+    ]
+
+
+@given(shape=tree_strategy)
+def test_recorder_reconstructs_any_execution_tree(shape):
+    with SpanRecorder(seed=1) as recorder:
+        expected = _execute(shape)
+    assert _reconstruct_roots(recorder) == expected
+
+
+@given(shape=tree_strategy)
+def test_span_ids_depend_only_on_shape(shape):
+    def ids():
+        with SpanRecorder(seed=1) as recorder:
+            _execute(shape)
+        return [(s.span_id, s.parent_id, s.name) for s in recorder.spans()]
+
+    assert ids() == ids()

@@ -60,16 +60,24 @@ class TestOverTheWire:
     def test_cold_then_warm_plan(self, base_url):
         status, cold = http("POST", f"{base_url}/v1/plan", PLAN)
         assert status == 200
-        assert cold["meta"]["request"] == {
+        request_meta = cold["meta"]["request"]
+        assert {
+            key: request_meta[key]
+            for key in ("simulations", "store_hits", "store_builds", "warm")
+        } == {
             "simulations": 1,
             "store_hits": 0,
             "store_builds": 1,
             "warm": False,
         }
+        # The dispatch telemetry stamps both identifiers over the wire too.
+        assert request_meta["request_id"].startswith("req-")
+        assert request_meta["duration_ms"] > 0
         status, warm = http("POST", f"{base_url}/v1/plan", PLAN)
         assert status == 200
         assert warm["meta"]["request"]["simulations"] == 0
         assert warm["meta"]["request"]["warm"] is True
+        assert warm["meta"]["request"]["request_id"] != request_meta["request_id"]
         assert warm["result"] == cold["result"]
 
     def test_unknown_path_404(self, base_url):

@@ -1,0 +1,72 @@
+"""``GET /v1/metrics`` and the telemetry riding on every dispatch.
+
+The metrics payload is Prometheus text, not JSON — the one non-JSON
+route in the API — so these tests also pin the text/plain contract all
+three transports share.
+"""
+
+import pytest
+
+
+class TestMetricsEndpoint:
+    def test_payload_is_prometheus_text(self, client):
+        # Dispatch telemetry registers its families on first use, after the
+        # handler ran — make one request so a pristine process has them.
+        client.get("/v1/healthz")
+        response = client.get("/v1/metrics")
+        assert response.status_code == 200
+        with pytest.raises(ValueError):
+            response.json()
+        text = response.text
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+
+    def test_request_histogram_grows_with_traffic(self, client):
+        plan = {"strategy": "TR", "num_gpus": 2, "batch_size": 128, "steps": 4}
+        assert client.post("/v1/plan", json=plan).status_code == 200
+        text = client.get("/v1/metrics").text
+        assert 'endpoint="/v1/plan"' in text
+        assert 'repro_http_requests_total{endpoint="/v1/plan",status="200"}' in text
+
+    def test_warm_cold_counter_tracks_cache_temperature(self, client):
+        plan = {"strategy": "TR", "num_gpus": 2, "batch_size": 128, "steps": 4}
+
+        def warm_count():
+            text = client.get("/v1/metrics").text
+            for line in text.splitlines():
+                if (
+                    line.startswith("repro_http_warm_cold_total")
+                    and 'temperature="warm"' in line
+                    and '"/v1/plan"' in line
+                ):
+                    return float(line.rpartition(" ")[2])
+            return 0.0
+
+        client.post("/v1/plan", json=plan)  # cold
+        before = warm_count()
+        client.post("/v1/plan", json=plan)  # warm
+        assert warm_count() == before + 1
+
+    def test_unknown_paths_are_labelled_unknown(self, client):
+        client.get("/nope")
+        text = client.get("/v1/metrics").text
+        assert 'repro_http_requests_total{endpoint="unknown",status="404"}' in text
+
+
+class TestHealthzTelemetry:
+    def test_uptime_and_requests_served(self, client):
+        first = client.get("/v1/healthz").json()
+        assert first["uptime_s"] >= 0
+        # requests_served counts *completed* dispatches, so the first
+        # healthz call reports everything before it — nothing yet.
+        assert first["requests_served"] == 0
+        second = client.get("/v1/healthz").json()
+        assert second["requests_served"] == 1
+        assert second["uptime_s"] >= first["uptime_s"]
+
+    def test_every_dispatch_counts(self, client):
+        plan = {"strategy": "TR", "num_gpus": 2, "batch_size": 128, "steps": 4}
+        client.post("/v1/plan", json=plan)
+        client.get("/nope")  # errors count too: they were dispatched
+        payload = client.get("/v1/healthz").json()
+        assert payload["requests_served"] == 2

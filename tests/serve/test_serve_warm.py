@@ -35,12 +35,18 @@ class TestWarmWithinOneService:
     def test_second_plan_simulates_nothing(self, client):
         cold = meta_request(client.post("/v1/plan", json=PLAN))
         warm = meta_request(client.post("/v1/plan", json=PLAN))
-        assert cold == {
+        assert {
+            key: cold[key]
+            for key in ("simulations", "store_hits", "store_builds", "warm")
+        } == {
             "simulations": 1,
             "store_hits": 0,
             "store_builds": 1,
             "warm": False,
         }
+        # Telemetry identifiers ride along on every compute response.
+        assert cold["request_id"].startswith("req-")
+        assert cold["duration_ms"] > 0
         assert warm["simulations"] == 0
         assert warm["store_hits"] == 1
         assert warm["warm"] is True
@@ -77,7 +83,10 @@ class TestWarmWithinOneService:
                 },
             )
         )
-        assert plan == {
+        assert {
+            key: plan[key]
+            for key in ("simulations", "store_hits", "store_builds", "warm")
+        } == {
             "simulations": 0,
             "store_hits": 1,
             "store_builds": 0,

@@ -734,3 +734,83 @@ class TestOutFailures:
         )
         assert code == 2
         assert "cannot write --save-workload" in captured.err
+
+
+class TestProfile:
+    def test_profile_run_emits_breakdown_and_report(self, capsys):
+        code, captured = run_cli(capsys, "profile", "run", "--steps", "4")
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["kind"] == "run"
+        assert payload["coverage"] >= 0.95
+        names = [row["name"] for row in payload["breakdown"]]
+        assert "profile.run" in names
+        assert "session.run" in names
+        # The human-readable table goes to stderr, JSON stays clean on stdout.
+        assert "span" in captured.err and "coverage" in captured.err
+
+    def test_profile_sweep_writes_a_chrome_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, captured = run_cli(
+            capsys,
+            "profile",
+            "sweep",
+            "--steps",
+            "4",
+            "--trace-out",
+            str(trace),
+        )
+        assert code == 0
+        document = json.loads(trace.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "profile.sweep" in names
+        assert "session.sweep" in names
+
+    def test_profile_against_a_store_hydrates(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code, _ = run_cli(capsys, "profile", "run", "--steps", "4", "--store", store)
+        assert code == 0
+        code, captured = run_cli(
+            capsys, "profile", "run", "--steps", "4", "--store", store
+        )
+        assert code == 0
+        names = [row["name"] for row in json.loads(captured.out)["breakdown"]]
+        assert "store.get" in names  # the second run answers from the store
+
+    def test_trace_out_into_missing_directory(self, capsys, tmp_path):
+        target = tmp_path / "no" / "dir" / "trace.json"
+        code, captured = run_cli(
+            capsys, "profile", "run", "--steps", "4", "--trace-out", str(target)
+        )
+        assert code == 2
+        assert "cannot write --trace-out" in captured.err
+
+    def test_unknown_kind_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "profile", "everything")
+
+
+class TestLoggingFlags:
+    def test_global_flags_configure_the_repro_logger(self, capsys):
+        import logging
+
+        from repro.obs.logs import JsonFormatter
+
+        try:
+            code, _ = run_cli(
+                capsys, "--log-level", "DEBUG", "--log-json", "run", "--steps", "4"
+            )
+            assert code == 0
+            logger = logging.getLogger("repro")
+            assert logger.level == logging.DEBUG
+            handler = next(h for h in logger.handlers if h.name == "repro-obs")
+            assert isinstance(handler.formatter, JsonFormatter)
+        finally:
+            from repro.obs.logs import configure_logging
+
+            configure_logging("WARNING", json_format=False)
+
+    def test_unknown_log_level_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "--log-level", "LOUD", "run", "--steps", "4")

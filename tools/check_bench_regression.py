@@ -57,6 +57,8 @@ METRIC_KEYS = frozenset(
         # serve hot path (zero-simulation guarantee; latencies stay ungated)
         "cold_hit_rate",
         "warm_hit_rate",
+        # telemetry overhead (~1.0; the raw ms timings stay ungated)
+        "overhead_ratio",
         # tune convergence
         "budget",
         "best_epoch_time_s",

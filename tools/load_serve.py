@@ -19,7 +19,15 @@ Two ways to point it at a server::
 The report's ``phases.warm.hit_rate`` should be 1.0 against a healthy
 store-backed service; ``phases.warm.p99_ms`` well below
 ``phases.cold.p50_ms`` is the zero-simulation hot path showing up as
-latency.  Exit status: 0 when every request returned 200, 1 otherwise.
+latency.  The harness also scrapes ``GET /v1/metrics`` before and after
+the burst and cross-checks the server-side request counter delta against
+the number of requests it sent — a disagreement means requests were
+dropped or double-counted somewhere in the transport.  The ``server``
+section of the report carries the per-endpoint request-count and latency
+breakdown as the *server* measured it (histogram sum/count deltas).
+
+Exit status: 0 when every request returned 200 **and** the server-side
+count agrees, 1 otherwise.
 
 CI runs a short burst of this in the ``serve-smoke`` job and uploads the
 report as an artifact; ``benchmarks/bench_serve_latency.py`` is the
@@ -130,9 +138,11 @@ def run_load(
 ) -> dict:
     """Cold pass + warm passes against one server; returns the JSON report."""
     grid = build_grid(requests, steps)
+    before = scrape_metrics(url)
     cold = run_phase(url, grid, clients)
     warm_bodies = [body for _ in range(max(1, warm_passes)) for body in grid]
     warm = run_phase(url, warm_bodies, clients)
+    after = scrape_metrics(url)
     cold_stats = phase_stats(*cold)
     warm_stats = phase_stats(*warm)
     ratio = (
@@ -147,6 +157,87 @@ def run_load(
         "warm_passes": max(1, warm_passes),
         "phases": {"cold": cold_stats, "warm": warm_stats},
         "warm_p99_over_cold_p50": ratio,
+        "server": server_breakdown(
+            before, after, cold_stats["requests"] + warm_stats["requests"]
+        ),
+    }
+
+
+def parse_prometheus(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Prometheus text exposition → ``{metric name: [(labels, value), ...]}``.
+
+    Covers the subset the planner service emits: no escaped quotes or
+    commas inside label values.  Histogram series keep their rendered
+    suffix (``_bucket`` / ``_sum`` / ``_count``) as part of the name.
+    """
+    samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        labels: Dict[str, str] = {}
+        name, brace, label_text = series.partition("{")
+        if brace:
+            for item in label_text.rstrip("}").split(","):
+                if item:
+                    key, _, val = item.partition("=")
+                    labels[key] = val.strip('"')
+        samples.setdefault(name, []).append((labels, float(value)))
+    return samples
+
+
+def scrape_metrics(url: str, timeout: float = 10.0) -> Optional[dict]:
+    """One parsed ``GET /v1/metrics`` scrape, or ``None`` when unreachable."""
+    try:
+        with urllib.request.urlopen(f"{url}/v1/metrics", timeout=timeout) as response:
+            return parse_prometheus(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def _by_endpoint(samples: Optional[dict], metric: str) -> Dict[str, float]:
+    """Sum one metric's samples per ``endpoint`` label."""
+    totals: Dict[str, float] = {}
+    for labels, value in (samples or {}).get(metric, []):
+        endpoint = labels.get("endpoint", "unknown")
+        totals[endpoint] = totals.get(endpoint, 0.0) + value
+    return totals
+
+
+def server_breakdown(
+    before: Optional[dict], after: Optional[dict], client_requests: int
+) -> dict:
+    """Delta the two scrapes into the report's ``server`` section.
+
+    Deltas (not absolutes) so the cross-check holds against a long-lived
+    server that answered other traffic before the burst.
+    """
+    if before is None or after is None:
+        return {"scraped": False}
+    counts_before = _by_endpoint(before, "repro_http_requests_total")
+    counts = {
+        endpoint: total - counts_before.get(endpoint, 0.0)
+        for endpoint, total in _by_endpoint(after, "repro_http_requests_total").items()
+    }
+    sums = _by_endpoint(after, "repro_http_request_seconds_sum")
+    sums_before = _by_endpoint(before, "repro_http_request_seconds_sum")
+    latency = {}
+    for endpoint, count in counts.items():
+        if count > 0:
+            total_s = sums.get(endpoint, 0.0) - sums_before.get(endpoint, 0.0)
+            latency[endpoint] = {
+                "requests": int(count),
+                "mean_ms": total_s / count * 1000.0,
+            }
+    plan_requests = int(counts.get("/v1/plan", 0))
+    return {
+        "scraped": True,
+        "requests_by_endpoint": {ep: int(n) for ep, n in sorted(counts.items())},
+        "latency_by_endpoint": latency,
+        "plan_requests": plan_requests,
+        "client_plan_requests": client_requests,
+        "count_match": plan_requests == client_requests,
     }
 
 
@@ -223,6 +314,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     if any(failures.values()):
         print(f"error: non-200 responses: {failures}", file=sys.stderr)
+        return 1
+    server = report["server"]
+    if not server["scraped"]:
+        print("error: /v1/metrics was not scrapeable", file=sys.stderr)
+        return 1
+    if not server["count_match"]:
+        print(
+            "error: server-side /v1/plan count disagrees with the client: "
+            f"server={server['plan_requests']} "
+            f"client={server['client_plan_requests']}",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
