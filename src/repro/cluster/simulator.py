@@ -187,6 +187,36 @@ class ClusterSimulator:
         """Full service time: per-epoch time scaled by the job's epoch count."""
         return self.epoch_time(job, node) * job.epochs
 
+    def _fill_epoch_times(self, placements) -> None:
+        """Batch-fill the epoch-time memo for freshly decided placements.
+
+        Both event loops collect every placement made at one event instant
+        and resolve the missing ``EpochKey`` cells here in one fan-out,
+        under a *single* ``cluster.memo_fill`` span and one counter bump —
+        instead of a per-event ``Session.run`` span per cell — so profile
+        reports stay readable at fleet scale.  Only keys the drained
+        placements actually need are filled: the memo contents (and with
+        them ``simulations_run`` and the store audit counters) are
+        identical to the per-event fills this replaces.
+        """
+        missing = []
+        seen = set()
+        for job, node in placements:
+            config = job.experiment_config(node.server)
+            key: EpochKey = (config.cell_key(), job.strategy, job.simulated_steps)
+            if key not in self._epoch_times and key not in seen:
+                seen.add(key)
+                missing.append((key, config))
+        if not missing:
+            return
+        with span("cluster.memo_fill", cells=len(missing), policy=self.policy.name):
+            for key, config in missing:
+                self._epoch_times[key] = self.session.run(config).epoch_time
+        get_registry().counter(
+            "repro_cluster_memo_fill_cells_total",
+            "epoch-time memo cells filled, batched per drain instant",
+        ).inc(len(missing), policy=self.policy.name)
+
     def estimate_service_time(self, job: JobSpec) -> float:
         """Node-independent estimate used by ordering policies (e.g. SJF).
 
@@ -313,6 +343,12 @@ class ClusterSimulator:
                 events += 1
 
             # Drain the queue as far as the policy allows at this instant.
+            # Placement decisions depend only on the queue and the free
+            # ledger — never on the service time of a gang placed in the
+            # same instant — so the loop first *decides* every placement,
+            # then resolves the missing epoch-time cells in one batch, and
+            # only then books the gangs.
+            placed: List[Tuple[JobSpec, NodeSpec]] = []
             while queue:
                 placement = self.policy.place(
                     tuple(queue), dict(free), self.estimate_service_time
@@ -320,10 +356,14 @@ class ClusterSimulator:
                 if placement is None:
                     break
                 job, node = self._resolve(placement, queue, free)
-                service = self.service_time(job, node)
-                finish = now + service
                 free[node.name] -= job.gpus
                 queue.remove(job)
+                placed.append((job, node))
+            if placed:
+                self._fill_epoch_times(placed)
+            for job, node in placed:
+                service = self.service_time(job, node)
+                finish = now + service
                 heapq.heappush(running, (finish, next(sequence), job, node.name))
                 events += 1
                 if len(running) > peak_heap:
@@ -556,7 +596,14 @@ class ClusterSimulator:
                 start_attempt(job, node, gpus, t, action)
 
         def drain(t: float) -> None:
-            """Place queued gangs as far as the placement policy allows."""
+            """Place queued gangs as far as the placement policy allows.
+
+            Decisions are collected first (reserving GPUs so the policy sees
+            a correct ledger), the missing epoch-time cells batch-fill in
+            one fan-out, then the attempts start — identical schedule, one
+            memo-fill span per drain instant.
+            """
+            placed: List[Tuple[JobSpec, NodeSpec]] = []
             while queue:
                 placement = self.policy.place(
                     tuple(queue), free_map(), self.estimate_service_time
@@ -565,6 +612,15 @@ class ClusterSimulator:
                     break
                 job, node = self._resolve(placement, queue, free_map())
                 queue.remove(job)
+                used[node.name] += job.gpus
+                placed.append((job, node))
+            if not placed:
+                return
+            self._fill_epoch_times(placed)
+            for job, node in placed:
+                # Hand the reservation back to start_attempt's own ledger
+                # update; no policy consultation happens in between.
+                used[node.name] -= job.gpus
                 start_attempt(job, node, job.gpus, t, "restart")
 
         while next_arrival < len(arrivals) or queue or entries:

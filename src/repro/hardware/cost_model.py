@@ -18,7 +18,8 @@ absolute wall-clock numbers of the authors' testbed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 from repro.models.blocks import BlockSpec
@@ -35,6 +36,20 @@ class CostModel:
     """Execution-time estimates for one GPU type."""
 
     gpu: GPUSpec
+    # Memo of block-level times keyed by (id(block), batch, pass): a tune
+    # sweep re-derives the same (block, batch) cell thousands of times and
+    # pays the per-layer roofline walk once.  Identity keys skip hashing the
+    # whole layer tuple on every lookup; ``_block_refs`` pins each keyed
+    # block so its id cannot be recycled.  GPUSpec holds a plain-dict
+    # efficiency table and is unhashable, which rules out lru_cache on the
+    # methods; the memo lives on the instance instead and ServerSpec reuses
+    # the instance (see ServerSpec.cost_model).
+    _block_times: Dict[Tuple[int, int, str], float] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _block_refs: Dict[int, BlockSpec] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # Layer-level estimates
@@ -73,11 +88,23 @@ class CostModel:
     # ------------------------------------------------------------------ #
     def block_forward_time(self, block: BlockSpec, batch: int) -> float:
         """Forward time of a whole block (teacher or student)."""
-        return sum(self.layer_forward_time(layer, batch) for layer in block.layers)
+        key = (id(block), batch, "fwd")
+        cached = self._block_times.get(key)
+        if cached is None:
+            cached = sum(self.layer_forward_time(layer, batch) for layer in block.layers)
+            self._block_times[key] = cached
+            self._block_refs[id(block)] = block
+        return cached
 
     def block_backward_time(self, block: BlockSpec, batch: int) -> float:
         """Backward time of a whole block (student only; teachers are frozen)."""
-        return sum(self.layer_backward_time(layer, batch) for layer in block.layers)
+        key = (id(block), batch, "bwd")
+        cached = self._block_times.get(key)
+        if cached is None:
+            cached = sum(self.layer_backward_time(layer, batch) for layer in block.layers)
+            self._block_times[key] = cached
+            self._block_refs[id(block)] = block
+        return cached
 
     def block_training_time(self, block: BlockSpec, batch: int) -> float:
         """Forward + backward time of a student block."""

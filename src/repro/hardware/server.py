@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 from repro.hardware.cost_model import CostModel
@@ -22,6 +22,9 @@ class ServerSpec:
     interconnect: InterconnectSpec
     host: HostSpec
     memory_model: MemoryModel = field(default_factory=MemoryModel)
+    _cost_models: Dict[int, CostModel] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.gpus:
@@ -40,8 +43,17 @@ class ServerSpec:
         return self.gpus[device_id]
 
     def cost_model(self, device_id: int = 0) -> CostModel:
-        """Cost model for a device (all presets are homogeneous)."""
-        return CostModel(gpu=self.gpu(device_id))
+        """Cost model for a device (all presets are homogeneous).
+
+        The instance is cached per device so its block-time memo (see
+        :class:`~repro.hardware.cost_model.CostModel`) survives across the
+        many short-lived callers that re-request a model for one estimate.
+        """
+        cached = self._cost_models.get(device_id)
+        if cached is None:
+            cached = CostModel(gpu=self.gpu(device_id))
+            self._cost_models[device_id] = cached
+        return cached
 
     @property
     def is_homogeneous(self) -> bool:

@@ -1,0 +1,524 @@
+"""Vectorized stage-time estimation: whole candidate batches in one numpy pass.
+
+:class:`~repro.parallel.estimator.StageTimeEstimator` scores one stage per
+call; the TR and AHD planners score *thousands* of candidate stages per plan
+build, and the successive-halving tuner scores every grid point before it
+simulates anything.  This module is the batch twin: it pregenerates the
+per-(block, batch) profile numbers into dense arrays once, then evaluates an
+entire batch of ``(blocks, device-group, batch-size)`` stage candidates in a
+single array pass, returning a :class:`StageTimeBatch` that decomposes
+exactly like :class:`~repro.parallel.estimator.StageTimeEstimate`
+(teacher / student / update / allreduce / data_load / relay).
+
+**Bit-exactness.**  The arrays reproduce the scalar estimator's arithmetic
+operation-for-operation — per-block sums accumulate in block order from 0.0
+(a fixed-slot loop, never ``np.sum``'s pairwise reduction), and the
+interconnect / loader formulas keep the scalar evaluation order — so
+vectorized and scalar estimates are *identical floats*, not merely close.
+``tests/parallel/test_estimator_equivalence.py`` pins this property; the
+golden plan JSONs in ``tests/parallel/golden/`` depend on it.
+
+**numpy stays optional.**  Importing this module (and everything that routes
+through it) works without numpy: :func:`vector_enabled` reports whether the
+fast path is available, and the planners fall back to the scalar loop when
+it is not (or when ``REPRO_NO_VECTOR=1`` forces the fallback, as the
+equivalence benchmark does).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
+
+from repro.data.dataset import DatasetSpec
+from repro.errors import ConfigurationError, ScheduleError
+from repro.hardware.server import ServerSpec
+from repro.models.layers import BYTES_PER_ELEMENT
+from repro.models.pairs import DistillationPair
+from repro.parallel.estimator import StageTimeEstimate
+from repro.parallel.plan import SchedulePlan
+from repro.parallel.profiler import ProfileTable
+
+try:  # pragma: no cover - exercised by the numpy-optional subprocess gate
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+HAVE_NUMPY = np is not None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "SearchGrid",
+    "SearchSegment",
+    "StageTimeBatch",
+    "VectorStageEstimator",
+    "groups_from_sizes",
+    "maybe_vector_estimator",
+    "partition_grid",
+    "search_grid",
+    "vector_enabled",
+]
+
+
+def vector_enabled() -> bool:
+    """Whether the vectorized fast path is available and not disabled.
+
+    Example:
+        >>> from repro.parallel.estimator_vec import vector_enabled
+        >>> isinstance(vector_enabled(), bool)
+        True
+    """
+    return HAVE_NUMPY and not os.environ.get("REPRO_NO_VECTOR")
+
+
+@dataclass(frozen=True)
+class StageTimeBatch:
+    """Decomposed per-step times of a batch of stages (struct of arrays).
+
+    Mirrors :class:`~repro.parallel.estimator.StageTimeEstimate` field by
+    field; index ``i`` of every array describes candidate stage ``i``.
+    """
+
+    teacher: "np.ndarray"
+    student: "np.ndarray"
+    update: "np.ndarray"
+    allreduce: "np.ndarray"
+    data_load: "np.ndarray"
+    relay: "np.ndarray"
+
+    def __len__(self) -> int:
+        return len(self.teacher)
+
+    @property
+    def compute(self) -> "np.ndarray":
+        return self.teacher + self.student + self.update
+
+    @property
+    def total(self) -> "np.ndarray":
+        """Per-stage busy time, same max-of-paths rule as the scalar total."""
+        overlapped = np.maximum(self.data_load, self.relay)
+        return np.maximum(self.compute + self.allreduce, overlapped)
+
+    def estimate(self, index: int) -> StageTimeEstimate:
+        """The scalar-typed estimate of one stage in the batch."""
+        return StageTimeEstimate(
+            teacher=float(self.teacher[index]),
+            student=float(self.student[index]),
+            update=float(self.update[index]),
+            allreduce=float(self.allreduce[index]),
+            data_load=float(self.data_load[index]),
+            relay=float(self.relay[index]),
+        )
+
+    def estimates(self) -> Tuple[StageTimeEstimate, ...]:
+        return tuple(self.estimate(index) for index in range(len(self)))
+
+
+class VectorStageEstimator:
+    """Batch twin of :class:`~repro.parallel.estimator.StageTimeEstimator`.
+
+    Pregenerates the profile table into ``(num_batches, num_blocks)`` arrays
+    once, then answers whole candidate batches with a handful of array ops.
+
+    Example:
+        >>> from repro.core.config import ExperimentConfig
+        >>> from repro.core.session import Session
+        >>> from repro.parallel.estimator import StageTimeEstimator
+        >>> from repro.parallel.estimator_vec import VectorStageEstimator
+        >>> session = Session()
+        >>> config = ExperimentConfig(batch_size=128, simulated_steps=4)
+        >>> pair = session.pair(config)
+        >>> args = (pair, session.server(config), session.dataset(config),
+        ...         session.profile(config))
+        >>> vector, scalar = VectorStageEstimator(*args), StageTimeEstimator(*args)
+        >>> batch = vector.stage_time_batch([0], [pair.num_blocks], [2], 128)
+        >>> batch.estimate(0) == scalar.stage_time(
+        ...     tuple(range(pair.num_blocks)), 2, 128)
+        True
+    """
+
+    def __init__(
+        self,
+        pair: DistillationPair,
+        server: ServerSpec,
+        dataset: DatasetSpec,
+        profile: ProfileTable,
+    ) -> None:
+        if np is None:  # pragma: no cover - numpy-optional gate
+            raise ConfigurationError(
+                "VectorStageEstimator needs numpy; install it or use the "
+                "scalar StageTimeEstimator"
+            )
+        self.pair = pair
+        self.server = server
+        self.dataset = dataset
+        self.profile = profile
+
+        num_blocks = pair.num_blocks
+        batches = profile.batches()
+        self._batches = np.asarray(batches, dtype=np.int64)
+        rounds = pair.student_rounds_per_step
+        teacher = np.empty((len(batches), num_blocks))
+        student = np.empty_like(teacher)
+        update = np.empty_like(teacher)
+        for row, batch in enumerate(batches):
+            for block_id in range(num_blocks):
+                entry = profile.lookup(block_id, batch)
+                teacher[row, block_id] = entry.teacher_forward
+                # Same expression as the scalar accumulation term:
+                # rounds * (student_forward + student_backward).
+                student[row, block_id] = rounds * entry.student_training
+                update[row, block_id] = entry.weight_update
+        self._teacher = teacher
+        self._student = student
+        self._update = update
+        self._grad_bytes = np.array(
+            [
+                pair.student.block(block_id).params * BYTES_PER_ELEMENT
+                for block_id in range(num_blocks)
+            ],
+            dtype=np.float64,
+        )
+        self._out_bytes = np.array(
+            [
+                pair.teacher.block(block_id).output_bytes_per_sample
+                for block_id in range(num_blocks)
+            ],
+            dtype=np.float64,
+        )
+
+        interconnect = server.interconnect
+        self._link_latency = interconnect.latency_s
+        self._link_bandwidth = interconnect.bandwidth
+        host = server.host
+        self._loader_throughput = host.loader_throughput
+        self._per_batch_overhead = host.per_batch_overhead_s
+        self._num_cores = host.num_cores
+        self._decoded_per_sample = float(dataset.decoded_bytes_per_sample)
+        self._disk_per_sample = dataset.disk_bytes_per_sample
+        self._decode_cpu = dataset.per_sample_decode_cpu_s
+
+    # ------------------------------------------------------------------ #
+    def _batch_rows(self, micro: "np.ndarray") -> "np.ndarray":
+        """Map per-stage micro-batches to profile-table rows, or raise."""
+        rows = np.searchsorted(self._batches, micro)
+        rows_clipped = np.minimum(rows, len(self._batches) - 1)
+        missing = self._batches[rows_clipped] != micro
+        if missing.any():
+            batch = int(micro[np.argmax(missing)])
+            raise ConfigurationError(
+                f"no profile entry at batch {batch}; "
+                f"profiled batches: {sorted(int(b) for b in self._batches)}"
+            )
+        return rows_clipped
+
+    def stage_time_batch(
+        self,
+        starts: Sequence[int],
+        lengths: Sequence[int],
+        replicas: Sequence[int],
+        global_batch: int,
+        concurrent_loaders=1,
+    ) -> StageTimeBatch:
+        """Per-step times of ``len(starts)`` contiguous stage candidates.
+
+        Candidate ``i`` runs blocks ``starts[i] .. starts[i]+lengths[i]-1``
+        on ``replicas[i]`` devices at ``global_batch``;
+        ``concurrent_loaders`` may be a scalar or a per-candidate array (the
+        planners pass each candidate's first-stage replica count, exactly as
+        :meth:`StageTimeEstimator.stage_time` receives it per call).
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        replicas = np.asarray(replicas, dtype=np.int64)
+        if starts.shape != lengths.shape or starts.shape != replicas.shape:
+            raise ScheduleError("starts, lengths and replicas must align")
+        if (replicas <= 0).any():
+            raise ScheduleError("num_replicas must be positive")
+        if (lengths <= 0).any():
+            raise ScheduleError("a stage must contain at least one block")
+
+        num_blocks = self.pair.num_blocks
+        micro = np.maximum(1, -((-global_batch) // replicas))
+        rows = self._batch_rows(micro)
+
+        # Per-block sums accumulated in block order from 0.0 — the same
+        # addition sequence as the scalar `for block_id in block_ids` loop,
+        # so the sums are bit-identical (np.sum's pairwise reduction is not).
+        teacher = np.zeros(starts.shape)
+        student = np.zeros(starts.shape)
+        update = np.zeros(starts.shape)
+        grad_bytes = np.zeros(starts.shape)
+        max_len = int(lengths.max())
+        zero = 0.0
+        for slot in range(max_len):
+            active = slot < lengths
+            block = np.minimum(starts + slot, num_blocks - 1)
+            teacher += np.where(active, self._teacher[rows, block], zero)
+            student += np.where(active, self._student[rows, block], zero)
+            update += np.where(active, self._update[rows, block], zero)
+            grad_bytes += np.where(active, self._grad_bytes[block], zero)
+
+        # Ring all-reduce, same operation order as InterconnectSpec.
+        n = replicas.astype(np.float64)
+        volume = 2.0 * (n - 1.0) / n * grad_bytes
+        allreduce_raw = 2.0 * (n - 1.0) * self._link_latency + volume / self._link_bandwidth
+        allreduce = np.where((replicas > 1) & (grad_bytes != 0.0), allreduce_raw, 0.0)
+
+        # Data loading, only for the stage holding block 0 (contiguous
+        # stages hold block 0 iff they start at it).
+        loaders = np.maximum(np.asarray(concurrent_loaders, dtype=np.int64), replicas)
+        micro_f = micro.astype(np.float64)
+        decoded = self._decoded_per_sample * micro_f
+        on_disk = self._disk_per_sample * micro_f
+        io_time = np.maximum(decoded, on_disk) / self._loader_throughput
+        cpu_time = micro_f * self._decode_cpu / self._num_cores
+        load = self._per_batch_overhead + loaders * np.maximum(io_time, cpu_time)
+        data_load = np.where(starts == 0, load, 0.0)
+
+        # Boundary-activation relay for every stage but the last.
+        last = starts + lengths - 1
+        boundary = self._out_bytes[np.minimum(last, num_blocks - 1)] * micro_f
+        transfer = self._link_latency + boundary / self._link_bandwidth
+        relay = np.where(
+            (last < num_blocks - 1) & (boundary != 0.0), transfer, 0.0
+        )
+
+        return StageTimeBatch(
+            teacher=teacher,
+            student=student,
+            update=update,
+            allreduce=allreduce,
+            data_load=data_load,
+            relay=relay,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Whole-plan helpers (drop-in twins of the scalar estimator methods)
+    # ------------------------------------------------------------------ #
+    def _plan_batch(self, plan: SchedulePlan) -> StageTimeBatch:
+        if plan.kind != "pipeline":
+            raise ScheduleError("stage estimates only apply to pipeline plans")
+        starts = [stage.first_block for stage in plan.stages]
+        lengths = [len(stage.block_ids) for stage in plan.stages]
+        replicas = [stage.num_devices for stage in plan.stages]
+        return self.stage_time_batch(
+            starts,
+            lengths,
+            replicas,
+            plan.batch_size,
+            concurrent_loaders=plan.stages[0].num_devices,
+        )
+
+    def stage_estimates(self, plan: SchedulePlan) -> Tuple[StageTimeEstimate, ...]:
+        """Per-stage estimates of a pipeline plan, in stage order."""
+        return self._plan_batch(plan).estimates()
+
+    def plan_step_time(self, plan: SchedulePlan) -> float:
+        """Estimated steady-state step time of a pipeline plan (max stage time)."""
+        return float(self._plan_batch(plan).total.max())
+
+    # ------------------------------------------------------------------ #
+    # Candidate-grid scoring (the planner inner loops)
+    # ------------------------------------------------------------------ #
+    def score_candidates(
+        self,
+        stage_starts: "np.ndarray",
+        stage_lengths: "np.ndarray",
+        stage_replicas: "np.ndarray",
+        global_batch: int,
+    ) -> "np.ndarray":
+        """Step times of ``(num_candidates, k)``-shaped candidate grids.
+
+        Every candidate is a ``k``-stage pipeline plan; the step time is the
+        maximum stage total, exactly as
+        :meth:`StageTimeEstimator.plan_step_time` computes it for decoupled
+        pipelines.  The data-loading term uses each candidate's first-stage
+        replica count, matching the scalar call convention.
+        """
+        num_candidates, k = stage_starts.shape
+        loaders = np.repeat(stage_replicas[:, 0], k)
+        batch = self.stage_time_batch(
+            stage_starts.reshape(-1),
+            stage_lengths.reshape(-1),
+            stage_replicas.reshape(-1),
+            global_batch,
+            concurrent_loaders=loaders,
+        )
+        return batch.total.reshape(num_candidates, k).max(axis=1)
+
+    def score_search_space(
+        self, num_devices: int, global_batch: int
+    ) -> List[Tuple[SearchSegment, "np.ndarray"]]:
+        """Step times of the *entire* AHD search space in one estimator pass.
+
+        Returns ``(segment, step_times)`` pairs, one per stage count k;
+        ``step_times[i]`` is candidate ``i``'s estimated step time in the
+        scalar enumeration order (partition-major, composition-minor).
+        """
+        grid = search_grid(self.pair.num_blocks, num_devices)
+        batch = self.stage_time_batch(
+            grid.starts,
+            grid.lengths,
+            grid.replicas,
+            global_batch,
+            concurrent_loaders=grid.loaders,
+        )
+        totals = batch.total
+        scored = []
+        for segment in grid.segments:
+            k = segment.num_stages
+            span = totals[
+                segment.flat_offset : segment.flat_offset + segment.num_candidates * k
+            ]
+            scored.append((segment, span.reshape(segment.num_candidates, k).max(axis=1)))
+        return scored
+
+
+@lru_cache(maxsize=256)
+def partition_grid(num_blocks: int, num_stages: int) -> Tuple["np.ndarray", "np.ndarray"]:
+    """``(starts, sizes)`` arrays of every contiguous block partition.
+
+    Row ``p`` describes partition ``p`` in the exact order
+    :func:`~repro.parallel.partition.contiguous_partitions` yields them —
+    the planners rely on this to keep argmin winner selection identical to
+    the scalar first-strict-improvement loop.  Cached (the grid depends
+    only on the two counts) and returned read-only.
+    """
+    from repro.parallel.partition import compositions
+
+    sizes = np.asarray(list(compositions(num_blocks, num_stages)), dtype=np.int64)
+    starts = np.zeros_like(sizes)
+    if num_stages > 1:
+        np.cumsum(sizes[:, :-1], axis=1, out=starts[:, 1:])
+    starts.flags.writeable = False
+    sizes.flags.writeable = False
+    return starts, sizes
+
+
+@dataclass(frozen=True)
+class SearchSegment:
+    """One stage-count slice of a flattened AHD candidate grid."""
+
+    num_stages: int
+    num_candidates: int
+    num_compositions: int
+    flat_offset: int
+
+
+@dataclass(frozen=True)
+class SearchGrid:
+    """The whole AHD candidate space, flattened for one estimator pass.
+
+    ``starts``/``lengths``/``replicas``/``loaders`` hold every stage of
+    every candidate for every stage count, concatenated k-ascending;
+    ``segments`` records where each stage count's candidates live.
+    """
+
+    starts: "np.ndarray"
+    lengths: "np.ndarray"
+    replicas: "np.ndarray"
+    loaders: "np.ndarray"
+    segments: Tuple[SearchSegment, ...]
+
+
+@lru_cache(maxsize=256)
+def search_grid(num_blocks: int, num_devices: int) -> SearchGrid:
+    """The flattened (partition x device-composition) grid for all stage counts.
+
+    Candidate order within each segment is partition-major and
+    composition-minor — exactly the scalar triple-loop enumeration order —
+    so first-minimum argmin over the scored grid reproduces the scalar
+    first-strict-improvement winner.
+    """
+    from repro.parallel.partition import compositions
+
+    starts_all: List["np.ndarray"] = []
+    lengths_all: List["np.ndarray"] = []
+    replicas_all: List["np.ndarray"] = []
+    loaders_all: List["np.ndarray"] = []
+    segments: List[SearchSegment] = []
+    offset = 0
+    for num_stages in range(1, min(num_blocks, num_devices) + 1):
+        part_starts, part_sizes = partition_grid(num_blocks, num_stages)
+        comps = np.asarray(list(compositions(num_devices, num_stages)), dtype=np.int64)
+        num_parts, num_comps = len(part_sizes), len(comps)
+        starts = np.repeat(part_starts, num_comps, axis=0)
+        lengths = np.repeat(part_sizes, num_comps, axis=0)
+        replicas = np.tile(comps, (num_parts, 1))
+        num_candidates = len(starts)
+        starts_all.append(starts.reshape(-1))
+        lengths_all.append(lengths.reshape(-1))
+        replicas_all.append(replicas.reshape(-1))
+        loaders_all.append(np.repeat(replicas[:, 0], num_stages))
+        segments.append(
+            SearchSegment(
+                num_stages=num_stages,
+                num_candidates=num_candidates,
+                num_compositions=num_comps,
+                flat_offset=offset,
+            )
+        )
+        offset += num_candidates * num_stages
+    grid = SearchGrid(
+        starts=np.concatenate(starts_all),
+        lengths=np.concatenate(lengths_all),
+        replicas=np.concatenate(replicas_all),
+        loaders=np.concatenate(loaders_all),
+        segments=tuple(segments),
+    )
+    for array in (grid.starts, grid.lengths, grid.replicas, grid.loaders):
+        array.flags.writeable = False
+    return grid
+
+
+def groups_from_sizes(sizes_row: Sequence[int]) -> Tuple[Tuple[int, ...], ...]:
+    """Contiguous block-id groups for one partition-sizes row."""
+    groups = []
+    next_block = 0
+    for size in sizes_row:
+        size = int(size)
+        groups.append(tuple(range(next_block, next_block + size)))
+        next_block += size
+    return tuple(groups)
+
+
+# Identity-keyed estimator cache: planners and the tune evaluator call into
+# the vectorized path once per plan build / grid point, almost always with
+# the same Session-memoised (pair, server, dataset, profile) objects.  The
+# cache holds strong references to its key objects, so an entry can never
+# alias a recycled id() while it is live.
+_ESTIMATOR_CACHE: List[tuple] = []
+_ESTIMATOR_CACHE_MAX = 16
+
+
+def maybe_vector_estimator(
+    pair: DistillationPair,
+    server: ServerSpec,
+    dataset: DatasetSpec,
+    profile: ProfileTable,
+) -> Optional[VectorStageEstimator]:
+    """A :class:`VectorStageEstimator` when the fast path is on, else None.
+
+    The planners call this once per plan build; a ``None`` return routes
+    them to the scalar fallback loop (no numpy, or ``REPRO_NO_VECTOR=1``).
+    Estimators are cached by argument identity, so repeated builds against
+    the same Session-memoised specs skip the table pregeneration.
+    """
+    if not vector_enabled():
+        return None
+    for entry in _ESTIMATOR_CACHE:
+        if (
+            entry[0] is pair
+            and entry[1] is server
+            and entry[2] is dataset
+            and entry[3] is profile
+        ):
+            return entry[4]
+    estimator = VectorStageEstimator(pair, server, dataset, profile)
+    _ESTIMATOR_CACHE.append((pair, server, dataset, profile, estimator))
+    if len(_ESTIMATOR_CACHE) > _ESTIMATOR_CACHE_MAX:
+        _ESTIMATOR_CACHE.pop(0)
+    return estimator

@@ -82,53 +82,75 @@ class SimulationEngine:
         Because dependencies may only point to earlier tasks, the graph is
         acyclic by construction; the engine is therefore a deterministic list
         scheduler.
+
+        The loop keeps one *candidate* per resource — its queue head, stamped
+        with the start time it would get right now — in a single global heap,
+        and lazily invalidates candidates whose resource state moved on
+        (a cheaper-id task arrived, or the resource's free time advanced).
+        This pops the same task the previous per-event scan over all
+        resources selected — the candidate tuples order exactly like the
+        scan's ``(start_at, task_id, resource)`` comparison — at O(log R)
+        per event instead of O(R).
         """
         if not self._tasks:
             return Trace(records=())
 
-        num_tasks = len(self._tasks)
-        remaining_deps = [len(task.deps) for task in self._tasks]
-        dependents: List[List[int]] = [[] for _ in range(num_tasks)]
-        for task in self._tasks:
-            for dep in task.deps:
-                dependents[dep].append(task.task_id)
+        tasks = self._tasks
+        num_tasks = len(tasks)
+        heappush, heappop = heapq.heappush, heapq.heappop
 
+        # Graph structure, flattened once: interned resource indices,
+        # durations, dependents adjacency.
+        remaining_deps = [len(task.deps) for task in tasks]
+        dependents: List[List[int]] = [[] for _ in range(num_tasks)]
+        resource_index: Dict[str, int] = {}
+        task_resource = [0] * num_tasks
+        durations = [0.0] * num_tasks
+        for task in tasks:
+            task_id = task.task_id
+            task_resource[task_id] = resource_index.setdefault(
+                task.resource, len(resource_index)
+            )
+            durations[task_id] = task.duration
+            for dep in task.deps:
+                dependents[dep].append(task_id)
+
+        # Per-resource FIFO of ready task ids (insertion order == program
+        # order == ascending id, so a plain int heap suffices) and the time
+        # each resource becomes free.
+        queues: List[List[int]] = [[] for _ in range(len(resource_index))]
+        free = [0.0] * len(resource_index)
         # Earliest time a task's dependencies are satisfied.
         ready_time = [0.0] * num_tasks
-        # Per-resource FIFO of ready tasks, ordered by insertion order.
-        resource_queues: Dict[str, List[Tuple[int, float]]] = {}
-        # Time each resource becomes free.
-        resource_free: Dict[str, float] = {}
 
+        start_time = [0.0] * num_tasks
         finish_time: List[Optional[float]] = [None] * num_tasks
-        start_time: List[Optional[float]] = [None] * num_tasks
 
-        def enqueue(task_id: int, at_time: float) -> None:
-            task = self._tasks[task_id]
-            queue = resource_queues.setdefault(task.resource, [])
-            heapq.heappush(queue, (task_id, at_time))
+        for task_id in range(num_tasks):
+            if remaining_deps[task_id] == 0:
+                heappush(queues[task_resource[task_id]], task_id)
 
-        for task in self._tasks:
-            if remaining_deps[task.task_id] == 0:
-                enqueue(task.task_id, 0.0)
+        # One candidate per resource with pending work; stale entries are
+        # recognised on pop by re-deriving the head and its start time.
+        candidates: List[Tuple[float, int, int]] = [
+            (0.0, queue[0], res) for res, queue in enumerate(queues) if queue
+        ]
+        heapq.heapify(candidates)
 
         completed = 0
-        # Event loop: repeatedly pick, among resources with pending work, the
-        # task that can start earliest (ties broken by insertion order so the
-        # schedule is deterministic).
         while completed < num_tasks:
-            best: Optional[Tuple[float, int, str]] = None
-            for resource, queue in resource_queues.items():
-                if not queue:
-                    continue
-                task_id, ready_at = queue[0]
-                start_at = max(ready_at, resource_free.get(resource, 0.0))
-                candidate = (start_at, task_id, resource)
-                if best is None or candidate < best:
-                    best = candidate
-            if best is None:
+            while candidates:
+                start_at, task_id, res = heappop(candidates)
+                queue = queues[res]
+                if not queue or queue[0] != task_id:
+                    continue  # superseded head: a fresher candidate exists
+                ready_at, free_at = ready_time[task_id], free[res]
+                if start_at != (ready_at if ready_at > free_at else free_at):
+                    continue  # stamped before the resource's free time moved
+                break
+            else:
                 pending = [
-                    self._tasks[index].name
+                    tasks[index].name
                     for index in range(num_tasks)
                     if finish_time[index] is None
                 ]
@@ -136,19 +158,37 @@ class SimulationEngine:
                     f"simulation deadlocked with {len(pending)} unfinished tasks; "
                     f"first few: {pending[:5]}"
                 )
-            start_at, task_id, resource = best
-            heapq.heappop(resource_queues[resource])
-            task = self._tasks[task_id]
-            end_at = start_at + task.duration
+            heappop(queue)
+            end_at = start_at + durations[task_id]
             start_time[task_id] = start_at
             finish_time[task_id] = end_at
-            resource_free[resource] = end_at
+            free[res] = end_at
             completed += 1
+            if queue:
+                head = queue[0]
+                head_ready = ready_time[head]
+                heappush(
+                    candidates,
+                    (head_ready if head_ready > end_at else end_at, head, res),
+                )
             for dependent in dependents[task_id]:
                 remaining_deps[dependent] -= 1
-                ready_time[dependent] = max(ready_time[dependent], end_at)
+                if ready_time[dependent] < end_at:
+                    ready_time[dependent] = end_at
                 if remaining_deps[dependent] == 0:
-                    enqueue(dependent, ready_time[dependent])
+                    dep_res = task_resource[dependent]
+                    dep_queue = queues[dep_res]
+                    heappush(dep_queue, dependent)
+                    if dep_queue[0] == dependent:
+                        dep_ready, dep_free = ready_time[dependent], free[dep_res]
+                        heappush(
+                            candidates,
+                            (
+                                dep_ready if dep_ready > dep_free else dep_free,
+                                dependent,
+                                dep_res,
+                            ),
+                        )
 
         records = tuple(
             TaskRecord(task=task, start=start_time[task.task_id], end=finish_time[task.task_id])

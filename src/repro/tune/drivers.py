@@ -212,7 +212,9 @@ class SuccessiveHalving:
 
     def search(self, space, objective, evaluator, *, budget, seed) -> DriverRun:
         points = space.points()
-        estimates = {point: evaluator.estimate(point) for point in points}
+        # Rung 0 goes through the batch entry point: one span + counter for
+        # the whole grid, vectorized plan scoring underneath.
+        estimates = evaluator.estimate_all(points)
         ranked = sorted(points, key=lambda point: objective.proxy_key(estimates[point]))
 
         full_steps = evaluator.simulated_steps

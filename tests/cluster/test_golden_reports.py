@@ -1,0 +1,46 @@
+"""Golden cluster-report regression: the two committed traces, pinned.
+
+``tests/cluster/test_fault_traces.py`` proves the replays are byte-stable
+*within* one code version; these goldens pin them *across* versions.  Both
+committed fault traces are replayed on the golden duo cluster and the
+resulting :class:`~repro.analysis.cluster_report.ClusterReport` JSON must
+match the committed documents byte-for-byte — the lock that the event-loop
+tightening and batched epoch-memo fills changed no observable behaviour.
+
+Refreshing after an *intentional* simulator change::
+
+    PYTHONPATH=src REPRO_UPDATE_GOLDEN=1 python -m pytest \
+        tests/cluster/test_golden_reports.py -q
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.faults import FaultTrace
+from repro.core.session import Session
+from tests.cluster.test_fault_traces import TRACES, replay
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.mark.parametrize("trace_name", ["preempt_burst", "crash_straggler"])
+def test_trace_report_matches_golden(trace_name):
+    trace = FaultTrace.load(TRACES / f"{trace_name}.json")
+    report = replay(trace, elastic="shrink", session=Session(), policy="fifo")
+    payload = report.to_json() + "\n"
+    path = GOLDEN_DIR / f"{trace_name}_report.json"
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload)
+        pytest.skip(f"golden refreshed: {path.name}")
+    assert path.is_file(), (
+        f"missing golden {path}; regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+    assert payload == path.read_text(), (
+        f"{trace_name} report drifted from {path.name}; if the change is "
+        "intentional, refresh with REPRO_UPDATE_GOLDEN=1"
+    )

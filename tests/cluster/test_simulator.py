@@ -303,6 +303,53 @@ class TestClusterReport:
             percentile([1.0], 101)
 
 
+class TestBatchedMemoFills:
+    """PR 8: epoch-memo fills are batched per drain instant.
+
+    The event loops collect every placement decided at one instant and
+    resolve missing epoch-time cells in a single ``cluster.memo_fill``
+    span (one counter bump), instead of one fill per placement event.
+    Schedules, memo contents and simulation counts must be unchanged —
+    the goldens in ``tests/cluster/golden`` pin the reports byte-for-byte.
+    """
+
+    def test_gang_burst_fills_in_one_span(self):
+        from repro.obs.tracing import SpanRecorder
+
+        # Twelve identical jobs all arriving at t=0: one drain instant,
+        # exactly one memo-fill span covering every distinct cell the
+        # placements landed (one per server type on the default fleet).
+        jobs = tuple(
+            JobSpec(
+                job_id=f"burst-{index}", arrival_time=0.0, gpus=2,
+                task="nas", dataset="cifar10", batch_size=128,
+                strategy="TR", epochs=1, simulated_steps=4,
+            )
+            for index in range(12)
+        )
+        simulator = ClusterSimulator(default_cluster(), policy="fifo", session=Session())
+        with SpanRecorder() as recorder:
+            simulator.run(Workload(name="burst", jobs=jobs))
+        fills = [s for s in recorder.spans() if s.name == "cluster.memo_fill"]
+        assert len(fills) == 1
+        assert fills[0].tags["cells"] == simulator.simulations_run
+
+    def test_warm_memo_produces_no_fill_spans(self):
+        from repro.obs.tracing import SpanRecorder
+
+        workload = poisson_workload(8, rate=0.5, seed=3)
+        session = Session()
+        memo = {}
+        ClusterSimulator(
+            default_cluster(), policy="fifo", session=session, epoch_time_cache=memo
+        ).run(workload)
+        with SpanRecorder() as recorder:
+            ClusterSimulator(
+                default_cluster(), policy="fifo", session=session, epoch_time_cache=memo
+            ).run(workload)
+        assert [s for s in recorder.spans() if s.name == "cluster.memo_fill"] == []
+
+
 class TestEpochMemoAudit:
     """PR 5 audit: the epoch-time memo key carries no policy/fault context.
 

@@ -1,0 +1,317 @@
+"""Vectorized == scalar, to the bit: the estimator equivalence suite.
+
+The vectorized estimator (`repro.parallel.estimator_vec`) promises results
+*identical* to the scalar :class:`~repro.parallel.estimator.StageTimeEstimator`
+— same floats, not merely close — because the planners' golden plan JSONs
+and the tuner's ranked rungs both pin exact values.  This suite drives that
+promise with hypothesis over arbitrary valid stage assignments, covers the
+compute-vs-overlap ``max`` edge cases where ``data_load`` / ``relay``
+dominate, and gates the numpy-optional import contract with a subprocess
+(the same pattern as the FastAPI lazy-import gate in
+``tests/serve/test_serve_imports.py``).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ExperimentConfig
+from repro.core.session import Session
+from repro.errors import ConfigurationError, ScheduleError
+from repro.parallel.estimator import StageTimeEstimator
+from repro.parallel.estimator_vec import (
+    HAVE_NUMPY,
+    VectorStageEstimator,
+    groups_from_sizes,
+    maybe_vector_estimator,
+    partition_grid,
+    search_grid,
+    vector_enabled,
+)
+from repro.parallel.partition import compositions, contiguous_partitions
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+_SESSION = Session()
+_PAIR_CACHE = {}
+
+#: All hypothesis-driven cells share one server shape so replica draws are
+#: uniform; the imagenet pair exercises heavy block-0 (data-load pressure).
+NUM_GPUS = 4
+
+
+def cell(dataset: str, batch_size: int):
+    """(pair, server, dataset, profile, scalar, vector) for one cell, cached."""
+    key = (dataset, batch_size)
+    if key not in _PAIR_CACHE:
+        config = ExperimentConfig(
+            dataset=dataset, num_gpus=NUM_GPUS, batch_size=batch_size, simulated_steps=4
+        )
+        pair = _SESSION.pair(config)
+        server = _SESSION.server(config)
+        data = _SESSION.dataset(config)
+        profile = _SESSION.profile(config)
+        _PAIR_CACHE[key] = (
+            pair,
+            server,
+            data,
+            profile,
+            StageTimeEstimator(pair=pair, server=server, dataset=data, profile=profile),
+            VectorStageEstimator(pair, server, data, profile),
+        )
+    return _PAIR_CACHE[key]
+
+
+def assert_estimates_identical(scalar_estimate, vector_estimate, context=""):
+    """Field-by-field bit equality (== on floats, no tolerance)."""
+    for field in ("teacher", "student", "update", "allreduce", "data_load", "relay"):
+        assert getattr(scalar_estimate, field) == getattr(vector_estimate, field), (
+            f"{field} drifted {context}: scalar={getattr(scalar_estimate, field)!r} "
+            f"vector={getattr(vector_estimate, field)!r}"
+        )
+    assert scalar_estimate.total == vector_estimate.total, context
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis: arbitrary valid stage assignments
+# --------------------------------------------------------------------- #
+@st.composite
+def stage_batches(draw):
+    """A random batch of valid contiguous stage candidates for one cell."""
+    dataset = draw(st.sampled_from(["cifar10", "imagenet"]))
+    batch_size = draw(st.sampled_from([128, 256, 512]))
+    pair = cell(dataset, batch_size)[0]
+    num_blocks = pair.num_blocks
+    num_candidates = draw(st.integers(min_value=1, max_value=6))
+    starts, lengths, replicas = [], [], []
+    for _ in range(num_candidates):
+        start = draw(st.integers(min_value=0, max_value=num_blocks - 1))
+        length = draw(st.integers(min_value=1, max_value=num_blocks - start))
+        starts.append(start)
+        lengths.append(length)
+        replicas.append(draw(st.integers(min_value=1, max_value=NUM_GPUS)))
+    loaders = draw(st.integers(min_value=1, max_value=NUM_GPUS))
+    return dataset, batch_size, starts, lengths, replicas, loaders
+
+
+class TestHypothesisEquivalence:
+    @given(batch=stage_batches())
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_stages_identical(self, batch):
+        dataset, batch_size, starts, lengths, replicas, loaders = batch
+        _, _, _, _, scalar, vector = cell(dataset, batch_size)
+        result = vector.stage_time_batch(
+            starts, lengths, replicas, batch_size, concurrent_loaders=loaders
+        )
+        for index, (start, length, n) in enumerate(zip(starts, lengths, replicas)):
+            block_ids = tuple(range(start, start + length))
+            expected = scalar.stage_time(
+                block_ids, n, batch_size, concurrent_loaders=loaders
+            )
+            assert_estimates_identical(
+                expected,
+                result.estimate(index),
+                context=f"({dataset}, batch {batch_size}, blocks {block_ids}, x{n})",
+            )
+
+    @given(
+        dataset=st.sampled_from(["cifar10", "imagenet"]),
+        batch_size=st.sampled_from([128, 256]),
+        num_stages=st.integers(min_value=1, max_value=NUM_GPUS),
+    )
+    @settings(max_examples=24, deadline=None)
+    def test_whole_search_space_identical(self, dataset, batch_size, num_stages):
+        pair, _, _, _, scalar, vector = cell(dataset, batch_size)
+        num_blocks = pair.num_blocks
+        if num_stages > num_blocks:
+            return
+        comps = list(compositions(NUM_GPUS, num_stages))
+        for segment, times in vector.score_search_space(NUM_GPUS, batch_size):
+            if segment.num_stages != num_stages:
+                continue
+            for index, vector_time in enumerate(times):
+                partition = groups_from_sizes(
+                    partition_grid(num_blocks, num_stages)[1][
+                        index // segment.num_compositions
+                    ]
+                )
+                devices = comps[index % segment.num_compositions]
+                totals = [
+                    scalar.stage_time(
+                        blocks, n, batch_size, concurrent_loaders=devices[0]
+                    ).total
+                    for blocks, n in zip(partition, devices)
+                ]
+                assert max(totals) == float(vector_time)
+
+
+# --------------------------------------------------------------------- #
+# The compute-vs-overlap max edge cases
+# --------------------------------------------------------------------- #
+class TestOverlapDominatedEdges:
+    def test_data_load_dominated_stage_is_identical(self):
+        # A tiny stage-0 slice with many concurrent loaders: the loader
+        # term `overhead + loaders * max(io, cpu)` grows linearly with the
+        # loader count, so at 64 loaders the overlapped path must win the
+        # outer max in both implementations.
+        _, _, _, _, scalar, vector = cell("imagenet", 256)
+        expected = scalar.stage_time((0,), 1, 256, concurrent_loaders=64)
+        result = vector.stage_time_batch([0], [1], [1], 256, concurrent_loaders=[64])
+        assert expected.data_load > expected.compute + expected.allreduce
+        assert expected.total == expected.data_load
+        assert_estimates_identical(expected, result.estimate(0))
+
+    def test_relay_dominated_stage_is_identical(self):
+        # A one-block non-final stage at a high micro-batch relays a large
+        # boundary activation; with the whole batch on one device the relay
+        # path can exceed a light block's compute.  Find such a stage and
+        # pin the equality on it (the search itself runs both paths).
+        pair, _, _, _, scalar, vector = cell("imagenet", 512)
+        dominated = None
+        for block in range(pair.num_blocks - 1):
+            estimate = scalar.stage_time((block,), 1, 512)
+            if estimate.relay > 0 and estimate.total == estimate.relay:
+                dominated = block
+                break
+        for block in range(pair.num_blocks - 1):
+            expected = scalar.stage_time((block,), 1, 512)
+            result = vector.stage_time_batch([block], [1], [1], 512)
+            assert_estimates_identical(expected, result.estimate(0))
+        if dominated is not None:
+            assert (
+                vector.stage_time_batch([dominated], [1], [1], 512).estimate(0).total
+                == scalar.stage_time((dominated,), 1, 512).relay
+            )
+
+    def test_allreduce_only_on_replicated_stages(self):
+        _, _, _, _, scalar, vector = cell("cifar10", 256)
+        single = vector.stage_time_batch([1], [2], [1], 256).estimate(0)
+        replicated = vector.stage_time_batch([1], [2], [4], 256).estimate(0)
+        assert single.allreduce == 0.0
+        assert replicated.allreduce > 0.0
+        assert replicated.allreduce == scalar.stage_time((1, 2), 4, 256).allreduce
+
+    def test_final_stage_never_relays(self):
+        pair, _, _, _, _, vector = cell("cifar10", 128)
+        last = pair.num_blocks - 1
+        estimate = vector.stage_time_batch([last], [1], [1], 128).estimate(0)
+        assert estimate.relay == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Plan-level equivalence and the planner fallback switch
+# --------------------------------------------------------------------- #
+class TestPlanEquivalence:
+    def test_plan_helpers_match_scalar(self):
+        from repro.parallel.hybrid import build_ahd_plan
+
+        pair, server, data, profile, scalar, vector = cell("imagenet", 256)
+        plan = build_ahd_plan(pair, server, 256, profile, data)
+        assert vector.plan_step_time(plan) == scalar.plan_step_time(plan)
+        assert vector.stage_estimates(plan) == scalar.stage_estimates(plan)
+
+    def test_planners_identical_with_and_without_vectorization(self, monkeypatch):
+        from repro.parallel.hybrid import search_ahd
+        from repro.parallel.teacher_relay import build_tr_plan
+
+        pair, server, data, profile, _, _ = cell("cifar10", 128)
+        assert vector_enabled()
+        fast_tr = build_tr_plan(pair, server, 128, profile, data)
+        fast_ahd = search_ahd(pair, server, 128, profile, data, keep_candidates=True)
+        monkeypatch.setenv("REPRO_NO_VECTOR", "1")
+        assert not vector_enabled()
+        slow_tr = build_tr_plan(pair, server, 128, profile, data)
+        slow_ahd = search_ahd(pair, server, 128, profile, data, keep_candidates=True)
+        assert fast_tr.to_dict() == slow_tr.to_dict()
+        assert fast_ahd.best.plan.to_dict() == slow_ahd.best.plan.to_dict()
+        assert fast_ahd.best.step_time == slow_ahd.best.step_time
+        assert [candidate.step_time for candidate in fast_ahd.candidates] == [
+            candidate.step_time for candidate in slow_ahd.candidates
+        ]
+
+    def test_search_grid_matches_scalar_enumeration(self):
+        pair, _, _, _, _, _ = cell("cifar10", 128)
+        num_blocks = pair.num_blocks
+        grid = search_grid(num_blocks, NUM_GPUS)
+        for segment in grid.segments:
+            k = segment.num_stages
+            expected = [
+                (partition, devices)
+                for partition in contiguous_partitions(num_blocks, k)
+                for devices in compositions(NUM_GPUS, k)
+            ]
+            assert segment.num_candidates == len(expected)
+            offset = segment.flat_offset
+            for index, (partition, devices) in enumerate(expected):
+                base = offset + index * k
+                for stage, (blocks, n) in enumerate(zip(partition, devices)):
+                    assert int(grid.starts[base + stage]) == blocks[0]
+                    assert int(grid.lengths[base + stage]) == len(blocks)
+                    assert int(grid.replicas[base + stage]) == n
+                    assert int(grid.loaders[base + stage]) == devices[0]
+
+
+# --------------------------------------------------------------------- #
+# Error paths mirror the scalar estimator
+# --------------------------------------------------------------------- #
+class TestErrorPaths:
+    def test_nonpositive_replicas_raise(self):
+        _, _, _, _, _, vector = cell("cifar10", 128)
+        with pytest.raises(ScheduleError, match="positive"):
+            vector.stage_time_batch([0], [1], [0], 128)
+
+    def test_empty_stage_raises(self):
+        _, _, _, _, _, vector = cell("cifar10", 128)
+        with pytest.raises(ScheduleError, match="at least one block"):
+            vector.stage_time_batch([0], [0], [1], 128)
+
+    def test_misaligned_arrays_raise(self):
+        _, _, _, _, _, vector = cell("cifar10", 128)
+        with pytest.raises(ScheduleError, match="align"):
+            vector.stage_time_batch([0, 1], [1], [1], 128)
+
+    def test_unprofiled_batch_raises(self):
+        _, _, _, _, _, vector = cell("cifar10", 128)
+        with pytest.raises(ConfigurationError, match="no profile entry"):
+            vector.stage_time_batch([0], [1], [1], 999)
+
+
+# --------------------------------------------------------------------- #
+# numpy stays optional (subprocess gate, as for the FastAPI lazy import)
+# --------------------------------------------------------------------- #
+class TestNumpyOptional:
+    def test_planners_work_without_numpy(self):
+        # Blocking numpy at import time must leave the whole planner stack
+        # usable on the scalar path; a subprocess gives a clean module
+        # table regardless of what this process already imported.
+        code = (
+            "import sys; sys.modules['numpy'] = None\n"
+            "import repro.parallel.estimator_vec as vec\n"
+            "assert not vec.HAVE_NUMPY and not vec.vector_enabled()\n"
+            "assert vec.maybe_vector_estimator(None, None, None, None) is None\n"
+            "from repro.core.config import ExperimentConfig\n"
+            "from repro.core.session import Session\n"
+            "session = Session()\n"
+            "config = ExperimentConfig(batch_size=128, num_gpus=2, simulated_steps=4)\n"
+            "from repro.parallel.teacher_relay import build_tr_plan\n"
+            "plan = build_tr_plan(session.pair(config), session.server(config), 128,\n"
+            "                     session.profile(config), session.dataset(config))\n"
+            "assert plan.metadata['estimated_step_time'] > 0\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_importing_estimator_vec_is_safe_without_vectorization(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_VECTOR", "1")
+        assert not vector_enabled()
+        assert maybe_vector_estimator(None, None, None, None) is None

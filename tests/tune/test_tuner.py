@@ -268,6 +268,47 @@ class TestEvaluatorIncrementality:
         )
 
 
+class TestBatchEstimation:
+    def points(self):
+        return [
+            TunePoint(
+                task="nas", dataset="cifar10", server="a6000",
+                num_gpus=gpus, batch_size=batch, strategy=strategy,
+            )
+            for gpus in (2, 4)
+            for batch in (128, 256)
+            for strategy in ("DP", "TR", "TR+DPU+AHD")
+        ]
+
+    def test_estimate_all_matches_per_point_estimates(self):
+        points = self.points()
+        batch_eval = TuneEvaluator(session=Session(), simulated_steps=6)
+        loop_eval = TuneEvaluator(session=Session(), simulated_steps=6)
+        batched = batch_eval.estimate_all(points)
+        for point in points:
+            assert batched[point].epoch_time == loop_eval.estimate(point).epoch_time
+        assert batch_eval.stats.estimates == len(points)
+
+    def test_estimate_all_records_one_span_for_the_batch(self):
+        from repro.obs.tracing import SpanRecorder
+
+        points = self.points()
+        evaluator = TuneEvaluator(session=Session(), simulated_steps=6)
+        with SpanRecorder() as recorder:
+            evaluator.estimate_all(points)
+        estimate_spans = [
+            s for s in recorder.spans() if s.name.startswith("tune.estimate")
+        ]
+        assert [s.name for s in estimate_spans] == ["tune.estimate_all"]
+        assert estimate_spans[0].tags["count"] == len(points)
+        assert estimate_spans[0].tags["misses"] == len(points)
+        # A warm batch is all memo hits: no span at all.
+        with SpanRecorder() as warm:
+            evaluator.estimate_all(points)
+        assert [s.name for s in warm.spans()] == []
+        assert evaluator.stats.estimate_hits == len(points)
+
+
 class TestGoodputUnderFaults:
     def space(self):
         from repro.tune.space import TuneSpace

@@ -32,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from fnmatch import fnmatch
 from pathlib import Path
 from typing import Dict, Iterator, List, Tuple
 
@@ -65,6 +66,12 @@ METRIC_KEYS = frozenset(
         "optimum_epoch_time_s",
         "optimality_gap",
         "best_score",
+        # engine primitives (deterministic counts; wall-clock stays ungated)
+        "num_tasks",
+        "memo_fill_spans",
+        "memo_fill_cells",
+        "warm_memo_fill_spans",
+        "search_space_size",
     }
 )
 
@@ -146,6 +153,17 @@ def main(argv=None) -> int:
         default=15,
         help="how many of the largest in-tolerance movers to print",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="GLOB",
+        help=(
+            "restrict the comparison to baseline artifacts matching this "
+            "fnmatch pattern (repeatable); lets a partial benchmark run "
+            "(e.g. the perf-smoke CI job) gate its own artifacts without "
+            "failing on every baseline it did not regenerate"
+        ),
+    )
     args = parser.parse_args(argv)
     if not args.baseline.is_dir():
         print(f"error: baseline directory {args.baseline} does not exist", file=sys.stderr)
@@ -156,6 +174,18 @@ def main(argv=None) -> int:
 
     baseline = load_metrics(args.baseline)
     current = load_metrics(args.current)
+    if args.only:
+        baseline = {
+            name: metrics
+            for name, metrics in baseline.items()
+            if any(fnmatch(name, pattern) for pattern in args.only)
+        }
+        if not baseline:
+            print(
+                f"error: no baseline artifacts match --only {args.only}",
+                file=sys.stderr,
+            )
+            return 2
 
     failures: List[str] = []
     compared: List[Tuple[float, str, float, float]] = []  # (|delta|, path, base, cur)
