@@ -1,0 +1,160 @@
+"""Pregen artifact throughput and read-path comparison at scale.
+
+Two measurements back ROADMAP item 2 (pregenerated planning tables +
+read-optimized index):
+
+* **Generation / resume** — ``run_pregen`` over the smoke grid into a
+  fresh store (rows/sec through the real simulate-and-append path), then
+  an immediate re-run that must simulate **zero** cells (the resume
+  no-op, priced in milliseconds).
+* **Read path at >=100k rows** — a store bulk-filled to 100k records,
+  read cold through both registered readers: ``scan`` (first-touch JSONL
+  shard parse per key) and ``sqlite`` (point query against the index).
+  Every sampled key is read on a *fresh* store handle so each
+  measurement is a true cold lookup — the boot-against-artifact case the
+  index exists for.  The acceptance bar is asserted in-test: **sqlite
+  p99 < scan p99**.
+
+Deterministic counts (``grid_size``, per-phase ``simulations``,
+``rows`` / ``indexed_rows``) are gated by the ±20% perf-regression CI
+job against ``benchmarks/baselines/``; wall-clock numbers (rows/sec,
+latency percentiles) are recorded for the report and asserted only
+relatively, as everywhere else in the harness.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from benchmarks.conftest import emit, emit_json
+from repro.core.reporting import format_table
+from repro.store import ExperimentStore, run_pregen
+from repro.store.index import build_index
+from repro.store.keys import SCHEMA_VERSION, canonical_json, content_key
+from tools.load_serve import percentile
+
+#: Rows the read-path comparison runs at (the ISSUE floor is 100k).
+READ_ROWS = 100_000
+
+#: Cold lookups sampled per reader, spread evenly across the key space.
+READ_SAMPLES = 300
+
+
+def _bulk_fill(root: str, rows: int) -> list:
+    """Append ``rows`` synthetic records straight into a store's shards.
+
+    Grouping by prefix and writing each shard file once keeps the fill to
+    ~a second; going through ``ExperimentStore.put`` would pay a flock +
+    open per row, which is the write path's business, not this read
+    benchmark's.  Returns every content key in insertion order.
+    """
+    store = ExperimentStore(root)
+    ts = time.time()
+    keys = []
+    by_prefix: dict = {}
+    for i in range(rows):
+        payload = {"i": i}
+        key = content_key("bench", payload)
+        keys.append(key)
+        record = {
+            "key": key,
+            "kind": "bench",
+            "schema": SCHEMA_VERSION,
+            "ts": ts,
+            "value": payload,
+        }
+        by_prefix.setdefault(key[:2], []).append(record)
+    for prefix, records in by_prefix.items():
+        with open(store.shards_dir / f"{prefix}.jsonl", "a") as handle:
+            handle.write("".join(canonical_json(r) + "\n" for r in records))
+    return keys
+
+
+def _cold_read_latencies(root: str, reader: str, sample: list) -> list:
+    """Per-key cold-get latency via a fresh handle per lookup."""
+    latencies = []
+    for i in sample:
+        store = ExperimentStore(root, reader=reader)
+        start = time.perf_counter()
+        value = store.get("bench", {"i": i})
+        latencies.append(time.perf_counter() - start)
+        assert value == {"i": i}, (reader, i, value)
+    return latencies
+
+
+def _latency_stats(latencies: list) -> dict:
+    return {
+        "p50_ms": percentile(latencies, 0.50) * 1000.0,
+        "p99_ms": percentile(latencies, 0.99) * 1000.0,
+    }
+
+
+def test_pregen_generation_and_resume():
+    with tempfile.TemporaryDirectory(prefix="repro-bench-pregen-") as root:
+        store = ExperimentStore(root)
+        cold = run_pregen(store, grid="smoke")
+        resume = run_pregen(store, grid="smoke")
+
+    assert cold.complete and resume.complete
+    assert cold.simulated == cold.total_cells
+    assert resume.simulated == 0, resume.to_dict()
+
+    generation = {
+        "grid_size": cold.total_cells,
+        "simulations": cold.simulated,
+        "rows_per_s": cold.total_cells / cold.duration_s,
+        "duration_s": cold.duration_s,
+    }
+    resume_noop = {
+        "simulations": resume.simulated,
+        "duration_s": resume.duration_s,
+    }
+    payload = {"generation": generation, "resume": resume_noop}
+    emit(
+        "pregen: smoke-grid generation vs resume no-op",
+        format_table(
+            ["phase", "cells simulated", "seconds"],
+            [
+                ["cold generation", str(cold.simulated), f"{cold.duration_s:.3f}"],
+                ["resume (no-op)", str(resume.simulated), f"{resume.duration_s:.3f}"],
+            ],
+        ),
+    )
+    emit_json("pregen_throughput", payload)
+
+
+def test_index_vs_scan_read_latency():
+    with tempfile.TemporaryDirectory(prefix="repro-bench-index-") as root:
+        _bulk_fill(root, READ_ROWS)
+        indexed_rows = build_index(ExperimentStore(root))
+        assert indexed_rows == READ_ROWS
+
+        step = READ_ROWS // READ_SAMPLES
+        sample = list(range(0, READ_ROWS, step))[:READ_SAMPLES]
+        scan = _latency_stats(_cold_read_latencies(root, "scan", sample))
+        sqlite = _latency_stats(_cold_read_latencies(root, "sqlite", sample))
+
+    # The acceptance bar: at >=100k rows the index must beat shard scans
+    # on tail latency (it replaces an O(shard) parse with a point query).
+    assert sqlite["p99_ms"] < scan["p99_ms"], (sqlite, scan)
+
+    payload = {
+        "rows": READ_ROWS,
+        "indexed_rows": indexed_rows,
+        "samples": READ_SAMPLES,
+        "scan": scan,
+        "sqlite": sqlite,
+        "speedup_p99": scan["p99_ms"] / sqlite["p99_ms"],
+    }
+    emit(
+        f"store reads at {READ_ROWS} rows: sqlite index vs JSONL scan (cold)",
+        format_table(
+            ["reader", "p50 ms", "p99 ms"],
+            [
+                ["scan", f"{scan['p50_ms']:.3f}", f"{scan['p99_ms']:.3f}"],
+                ["sqlite", f"{sqlite['p50_ms']:.3f}", f"{sqlite['p99_ms']:.3f}"],
+            ],
+        ),
+    )
+    emit_json("pregen_read_paths", payload)

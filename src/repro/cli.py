@@ -15,8 +15,11 @@ Six subcommands mirror the levels of the system:
 * ``serve`` — expose plan/sweep/tune/cluster (plus ``/v1/precompute``
   store warming and health/stats probes) as a versioned HTTP JSON API,
   answering hot queries from the store with zero simulations,
-* ``cache`` — inspect (``stats``), prune (``gc``) or dump (``export``) a
-  persistent experiment store,
+* ``pregen`` — pregenerate the planning tables for a named grid into a
+  store artifact (resumable, manifest-stamped, SQLite-indexed) that any
+  later session or server boots from without simulating,
+* ``cache`` — inspect (``stats``), prune (``gc``), dump (``export``) or
+  index (``index``) a persistent experiment store,
 * ``profile`` — run a fixed ``run``/``sweep``/``cluster``/``tune``
   workload under a span recorder and emit a per-span timing breakdown
   (plus an optional ``--trace-out`` chrome-trace file for
@@ -404,8 +407,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pregen(args: argparse.Namespace) -> int:
+    from repro.store.pregen import run_pregen
+
+    if not args.store:
+        raise ReproError(
+            "pregen writes an artifact: pass --store PATH or set REPRO_STORE"
+        )
+    # Unlike the cache commands, pregen is how an artifact is *born*, so a
+    # missing directory is created rather than rejected.
+    store = ExperimentStore(args.store)
+    report = run_pregen(
+        store,
+        grid=args.grid,
+        backend=args.backend,
+        workers=args.workers,
+        max_cells=args.max_cells,
+        index=not args.no_index,
+    )
+    _emit(report.to_dict(), args.out)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = _require_store(args)
+    if args.cache_command == "index":
+        from repro.store.index import build_index, drop_index, index_path
+
+        if args.drop:
+            drop_index(store)
+            payload = {"index": {"dropped": True, "reader": store.reader_name}}
+        else:
+            rows = build_index(store)
+            payload = {
+                "index": {
+                    "rows": rows,
+                    "path": str(index_path(store)),
+                    "reader": store.reader_name,
+                }
+            }
+        payload.update(store.disk_summary())
+        _emit(payload, args.out)
+        return 0
     if args.cache_command == "stats":
         if args.table:
             print(format_store_overview(store), file=sys.stderr)
@@ -683,6 +726,45 @@ def build_parser() -> argparse.ArgumentParser:
     add_store_argument(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)
 
+    from repro.store.pregen import GRIDS
+
+    pregen_parser = subparsers.add_parser(
+        "pregen",
+        help="pregenerate the planning tables for a named grid into a store "
+        "artifact (resumable; stamps manifest.json and the SQLite index)",
+    )
+    pregen_parser.add_argument(
+        "--grid",
+        default="canonical",
+        choices=sorted(GRIDS),
+        help="named grid to sweep (default: canonical)",
+    )
+    pregen_parser.add_argument(
+        "--backend",
+        default="inline",
+        choices=BACKENDS.names(),
+        help="execution backend for grid cells (default: inline)",
+    )
+    pregen_parser.add_argument(
+        "--workers", type=int, help="pool size for the thread/process backends"
+    )
+    pregen_parser.add_argument(
+        "--max-cells",
+        type=int,
+        help="simulate at most this many missing cells (partial artifact; "
+        "a later run resumes the remainder)",
+    )
+    pregen_parser.add_argument(
+        "--no-index",
+        action="store_true",
+        help="skip building the SQLite read index after the sweep",
+    )
+    pregen_parser.add_argument(
+        "--out", help="write the report JSON to this file instead of stdout"
+    )
+    add_store_argument(pregen_parser)
+    pregen_parser.set_defaults(handler=_cmd_pregen)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect, prune or dump a persistent experiment store"
     )
@@ -707,7 +789,13 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser = cache_subparsers.add_parser(
         "export", help="dump every record as one JSON document"
     )
-    for sub in (stats_parser, gc_parser, export_parser):
+    index_parser = cache_subparsers.add_parser(
+        "index", help="(re)build or drop the SQLite read index"
+    )
+    index_parser.add_argument(
+        "--drop", action="store_true", help="delete the index instead of building"
+    )
+    for sub in (stats_parser, gc_parser, export_parser, index_parser):
         add_store_argument(sub)
         sub.add_argument("--out", help="write JSON to this file instead of stdout")
     cache_parser.set_defaults(handler=_cmd_cache)

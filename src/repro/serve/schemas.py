@@ -215,6 +215,17 @@ class ErrorResponse(BaseModel):
     error: ErrorBody
 
 
+class PregenInfo(BaseModel):
+    """Pregen-artifact facts surfaced by ``/v1/healthz`` when booted
+    against a manifest-stamped store."""
+
+    grid: str
+    grid_hash: str
+    row_count: int
+    complete: bool
+    version: str
+
+
 class HealthResponse(BaseModel):
     status: str
     version: str
@@ -222,6 +233,8 @@ class HealthResponse(BaseModel):
     requests_served: int
     has_store: bool
     store_root: Optional[str] = None
+    store_reader: Optional[str] = None
+    pregen: Optional[PregenInfo] = None
     backend: str
     endpoints: List[str]
 

@@ -316,16 +316,37 @@ class PlannerService:
     # ------------------------------------------------------------------ #
     def _healthz(self, _body: Optional[dict]) -> Response:
         store = self.session.store
-        return 200, {
+        payload = {
             "status": "ok",
             "version": __version__,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "requests_served": self._requests_served,
             "has_store": store is not None,
             "store_root": str(store.root) if store is not None else None,
+            "store_reader": store.reader_name if store is not None else None,
+            "pregen": None,
             "backend": self.session.backend.name,
             "endpoints": list(self.paths()),
         }
+        if store is not None:
+            from repro.store.pregen import load_manifest
+
+            try:
+                manifest = load_manifest(store.root)
+            except ReproError:
+                # A corrupt manifest must not take /v1/healthz down with it;
+                # the liveness probe reports the artifact as absent and the
+                # pregen CLI surfaces the real error.
+                manifest = None
+            if manifest is not None:
+                payload["pregen"] = {
+                    "grid": manifest.grid.name,
+                    "grid_hash": manifest.grid_hash,
+                    "row_count": manifest.row_count,
+                    "complete": manifest.complete,
+                    "version": manifest.version,
+                }
+        return 200, payload
 
     def _metrics(self, _body: Optional[dict]) -> Response:
         """The process-wide registry in Prometheus text exposition format."""

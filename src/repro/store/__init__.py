@@ -7,8 +7,12 @@
 * :mod:`repro.store.backends` — the ``inline`` / ``thread`` / ``process``
   execution-backend registry, mirroring the strategy and placement
   registries.
+* :mod:`repro.store.index` — the ``scan`` / ``sqlite`` reader registry
+  and the derived, rebuildable SQLite point-lookup index.
+* :mod:`repro.store.pregen` — offline pregeneration of planning tables:
+  named grids, manifests, resume semantics (``repro pregen``).
 
-See ``docs/CACHING.md`` for the full guide.
+See ``docs/CACHING.md`` and ``docs/PREGEN.md`` for the full guides.
 """
 
 from repro.store.backends import (
@@ -17,18 +21,46 @@ from repro.store.backends import (
     register_backend,
     resolve_backend,
 )
+from repro.store.index import (
+    READERS,
+    StoreReader,
+    build_index,
+    drop_index,
+    register_reader,
+)
 from repro.store.keys import SCHEMA_VERSION, canonical_json, content_key
+from repro.store.pregen import (
+    GRIDS,
+    GridSpec,
+    Manifest,
+    PregenReport,
+    load_manifest,
+    resolve_grid,
+    run_pregen,
+)
 from repro.store.store import ExperimentStore, StoreStats, open_store
 
 __all__ = [
     "BACKENDS",
     "ExecutionBackend",
     "ExperimentStore",
+    "GRIDS",
+    "GridSpec",
+    "Manifest",
+    "PregenReport",
+    "READERS",
     "SCHEMA_VERSION",
+    "StoreReader",
     "StoreStats",
+    "build_index",
     "canonical_json",
     "content_key",
+    "drop_index",
+    "load_manifest",
     "open_store",
     "register_backend",
+    "register_reader",
     "resolve_backend",
+    "resolve_grid",
+    "run_pregen",
 ]

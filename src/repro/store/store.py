@@ -106,7 +106,7 @@ class ExperimentStore:
         1.5
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path], reader: str = "auto") -> None:
         self.root = Path(root)
         #: Guards the in-memory index and counters only — held briefly, and
         #: never while blocking on disk, so index reads are never stalled by
@@ -126,7 +126,15 @@ class ExperimentStore:
         #: only the owning thread can observe or change it).
         self._disk_lock_depth = 0
         self._disk_lock_handle = None
+        #: Attached SQLite index handle (None while reading via shard scans).
+        self._index_handle = None
         self._open()
+        # Resolve the read strategy last: ``auto`` inspects the on-disk
+        # layout (picking the SQLite index when one exists), so the store
+        # directory must already be validated.
+        from repro.store.index import resolve_reader
+
+        self._reader = resolve_reader(self, reader)
 
     # ------------------------------------------------------------------ #
     # Layout
@@ -134,6 +142,25 @@ class ExperimentStore:
     @property
     def shards_dir(self) -> Path:
         return self.root / "shards"
+
+    @property
+    def reader_name(self) -> str:
+        """Name of the active read strategy (``"scan"`` or ``"sqlite"``)."""
+        return self._reader.name
+
+    def attach_index(self, index) -> None:
+        """Attach (or detach, with None) a SQLite index handle.
+
+        With an index attached, reads go through it and every
+        :meth:`put` mirrors its append into the index; detaching falls
+        reads back to shard scans.  :func:`repro.store.index.build_index`
+        and :func:`~repro.store.index.drop_index` are the public entry
+        points — they keep the on-disk file and this handle in step.
+        """
+        from repro.store.index import READERS
+
+        self._index_handle = index
+        self._reader = READERS.get("sqlite" if index is not None else "scan")
 
     @property
     def quarantine_dir(self) -> Path:
@@ -334,7 +361,7 @@ class ExperimentStore:
         """
         key = content_key(kind, key_payload)
         with span("store.get", kind=kind):
-            record = self._load_shard(self._prefix(key)).get(key)
+            record = self._reader.lookup(self, key)
             hit = record is not None and record["kind"] == kind
             with self._lock:
                 if hit:
@@ -352,7 +379,7 @@ class ExperimentStore:
     def contains(self, kind: str, key_payload: dict) -> bool:
         """Whether a record exists, without touching the hit/miss counters."""
         key = content_key(kind, key_payload)
-        record = self._load_shard(self._prefix(key)).get(key)
+        record = self._reader.lookup(self, key)
         return record is not None and record["kind"] == kind
 
     def put(self, kind: str, key_payload: dict, value: dict) -> str:
@@ -371,6 +398,10 @@ class ExperimentStore:
             with self._disk_mutation_lock():
                 with open(self._shard_path(prefix), "a") as handle:
                     handle.write(line)
+                if self._index_handle is not None:
+                    # Mirror the append while still holding the flock, so
+                    # the index can never carry a row the shards lack.
+                    self._index_handle.insert(record)
                 with self._lock:
                     if prefix in self._index:
                         self._index[prefix][key] = record
@@ -416,6 +447,12 @@ class ExperimentStore:
         Age eviction drops records older than ``max_age_seconds``; capacity
         eviction then keeps only the ``max_records`` newest.  Surviving
         shards are rewritten atomically; quarantined lines are purged.
+
+        Records referenced by a pregen ``manifest.json`` in the store root
+        are **pinned**: they survive both bounds unconditionally (the
+        artifact's zero-simulation guarantee must not rot under routine
+        gc), so a store holding a pregen artifact may legitimately keep
+        more than ``max_records`` rows.  Delete the manifest to unpin.
         """
         if max_records is not None and max_records < 0:
             raise StoreError("gc max_records must be >= 0")
@@ -424,7 +461,10 @@ class ExperimentStore:
             # record between the read and the shard rewrites below.
             with self._lock:
                 self._index.clear()
-            survivors = list(self.records())
+            pinned_keys = self._pinned_keys()
+            all_records = list(self.records())
+            pinned = [r for r in all_records if r["key"] in pinned_keys]
+            survivors = [r for r in all_records if r["key"] not in pinned_keys]
             before = len(survivors)
             if max_age_seconds is not None:
                 horizon = time.time() - max_age_seconds
@@ -433,6 +473,7 @@ class ExperimentStore:
                 survivors.sort(key=lambda record: record["ts"])
                 survivors = survivors[len(survivors) - max_records:]
             evicted = before - len(survivors)
+            survivors.extend(pinned)
 
             by_prefix: Dict[str, List[dict]] = {}
             for record in survivors:
@@ -448,10 +489,25 @@ class ExperimentStore:
                     shard.unlink()
             for stale in self.quarantine_dir.glob("*.jsonl"):
                 stale.unlink()
+            if self._index_handle is not None:
+                # The shard rewrites above invalidated the SQLite mirror;
+                # rebuild it from the survivors while still holding the
+                # flock so no appender can race the two representations
+                # apart.
+                self._index_handle.replace_all(survivors)
             with self._lock:
                 self._index.clear()
                 self._evictions += evicted
             return evicted
+
+    def _pinned_keys(self) -> frozenset:
+        """Content keys pinned by a pregen ``manifest.json`` in the root.
+
+        Imported lazily: :mod:`repro.store.pregen` builds on this module.
+        """
+        from repro.store.pregen import manifest_record_keys
+
+        return manifest_record_keys(self.root)
 
     def export(self) -> dict:
         """JSON-serialisable dump of the whole store (``cache export``)."""
@@ -469,12 +525,16 @@ class ExperimentStore:
         Suitable for embedding in every CLI payload; use :meth:`stats` /
         ``cache stats`` when record counts by kind are worth a full load.
         """
+        from repro.store.index import index_summary
+
         shard_paths = list(self.shards_dir.glob("*.jsonl"))
-        return {
+        summary = {
             "root": str(self.root),
             "shards": len(shard_paths),
             "disk_bytes": sum(path.stat().st_size for path in shard_paths),
         }
+        summary.update(index_summary(self))
+        return summary
 
     def _build_stats(self, num_records: int) -> StoreStats:
         """Assemble a :class:`StoreStats` from a just-completed record walk.

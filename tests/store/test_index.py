@@ -1,0 +1,137 @@
+"""Tests for the SQLite read index and the scan/sqlite reader registry."""
+
+import json
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import ExperimentStore
+from repro.store.index import (
+    READERS,
+    SqliteIndex,
+    build_index,
+    drop_index,
+    index_path,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ExperimentStore(tmp_path / "store")
+
+
+def _fill(store, n=8):
+    for i in range(n):
+        store.put("run", {"cell": i}, {"epoch_time_s": float(i)})
+
+
+class TestReaderRegistry:
+    def test_both_readers_are_registered(self):
+        assert READERS.names() == ("scan", "sqlite")
+
+    def test_fresh_store_defaults_to_scan(self, store):
+        assert store.reader_name == "scan"
+        assert "reader" in store.disk_summary()
+        assert store.disk_summary()["reader"] == "scan"
+
+    def test_auto_picks_sqlite_when_the_index_exists(self, store):
+        _fill(store)
+        build_index(store)
+        reopened = ExperimentStore(store.root)
+        assert reopened.reader_name == "sqlite"
+        explicit = ExperimentStore(store.root, reader="scan")
+        assert explicit.reader_name == "scan"
+
+    def test_explicit_sqlite_builds_the_index_on_demand(self, store):
+        _fill(store)
+        assert not index_path(store).exists()
+        handle = ExperimentStore(store.root, reader="sqlite")
+        assert handle.reader_name == "sqlite"
+        assert index_path(handle).exists()
+
+    def test_unknown_reader_is_rejected(self, store):
+        with pytest.raises(Exception, match="scan"):
+            ExperimentStore(store.root, reader="mmap")
+
+
+class TestParity:
+    def test_readers_return_the_same_values(self, store):
+        _fill(store, 16)
+        build_index(store)
+        scan = ExperimentStore(store.root, reader="scan")
+        sqlite = ExperimentStore(store.root, reader="sqlite")
+        for i in range(16):
+            assert scan.get("run", {"cell": i}) == sqlite.get("run", {"cell": i})
+        assert scan.get("run", {"cell": 99}) is None
+        assert sqlite.get("run", {"cell": 99}) is None
+
+    def test_exports_stay_byte_stable(self, store):
+        """``cache export`` never reads the index, so bytes cannot drift."""
+        _fill(store, 6)
+        before = json.dumps(ExperimentStore(store.root, reader="scan").export())
+        build_index(store)
+        after = json.dumps(ExperimentStore(store.root, reader="sqlite").export())
+        assert before == after
+
+    def test_contains_agrees_between_readers(self, store):
+        _fill(store, 4)
+        build_index(store)
+        sqlite = ExperimentStore(store.root, reader="sqlite")
+        assert sqlite.contains("run", {"cell": 0})
+        assert not sqlite.contains("run", {"cell": 44})
+        assert not sqlite.contains("estimate", {"cell": 0})
+
+
+class TestCoherence:
+    def test_put_mirrors_into_the_attached_index(self, store):
+        build_index(store)
+        _fill(store, 5)
+        assert store._index_handle.count() == 5
+        # A brand-new sqlite handle sees the rows without a rebuild.
+        assert ExperimentStore(store.root).get("run", {"cell": 3}) == {
+            "epoch_time_s": 3.0
+        }
+
+    def test_index_unaware_writer_is_covered_by_scan_fallback(self, store):
+        _fill(store, 2)
+        build_index(store)
+        # Another process with an older library appends without the index.
+        legacy = ExperimentStore(store.root, reader="scan")
+        legacy.put("run", {"cell": "legacy"}, {"epoch_time_s": 1.0})
+
+        sqlite = ExperimentStore(store.root, reader="sqlite")
+        assert sqlite.get("run", {"cell": "legacy"}) == {"epoch_time_s": 1.0}
+        # The rebuild repairs the gap.
+        assert build_index(sqlite) == 3
+
+    def test_drop_index_falls_back_to_scans(self, store):
+        _fill(store, 3)
+        build_index(store)
+        drop_index(store)
+        assert store.reader_name == "scan"
+        assert not index_path(store).exists()
+        assert ExperimentStore(store.root).reader_name == "scan"
+        assert store.get("run", {"cell": 1}) == {"epoch_time_s": 1.0}
+
+    def test_rebuild_is_idempotent(self, store):
+        _fill(store, 4)
+        assert build_index(store) == 4
+        assert build_index(store) == 4
+
+    def test_corrupt_index_file_is_reported(self, store, tmp_path):
+        _fill(store, 2)
+        index_path(store).write_bytes(b"this is not a sqlite database at all")
+        with pytest.raises(StoreError, match="cache index"):
+            handle = ExperimentStore(store.root)
+            handle.get("run", {"cell": 0})
+
+    def test_sqlite_index_survives_reopen(self, tmp_path):
+        path = tmp_path / "index.sqlite"
+        index = SqliteIndex(path)
+        index.insert(
+            {"key": "ab" * 32, "kind": "run", "schema": 1, "ts": 1.0, "value": {"x": 1}}
+        )
+        index.close()
+        reopened = SqliteIndex(path)
+        assert reopened.count() == 1
+        assert reopened.lookup("ab" * 32)["value"] == {"x": 1}

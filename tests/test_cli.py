@@ -369,6 +369,53 @@ class TestStoreFlag:
         assert len(json.loads(captured.out)["cells"]) == 2
 
 
+class TestPregen:
+    def test_pregen_smoke_grid_and_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "artifact")
+        code, captured = run_cli(
+            capsys, "pregen", "--store", store, "--grid", "smoke",
+            "--max-cells", "3",
+        )
+        assert code == 0
+        partial = json.loads(captured.out)
+        assert partial["simulated"] == 3 and not partial["complete"]
+
+        code, captured = run_cli(
+            capsys, "pregen", "--store", store, "--grid", "smoke"
+        )
+        assert code == 0
+        resumed = json.loads(captured.out)
+        assert resumed["complete"]
+        assert resumed["skipped"] == 3
+        assert resumed["simulated"] == resumed["total_cells"] - 3
+        assert resumed["grid_hash"] == partial["grid_hash"]
+        assert (tmp_path / "artifact" / "manifest.json").exists()
+        assert (tmp_path / "artifact" / "index.sqlite").exists()
+
+    def test_pregen_without_store_is_reported(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        code, captured = run_cli(capsys, "pregen", "--grid", "smoke")
+        assert code == 2
+        assert "REPRO_STORE" in captured.err
+
+    def test_pregen_no_index_flag(self, capsys, tmp_path):
+        store = str(tmp_path / "artifact")
+        code, captured = run_cli(
+            capsys, "pregen", "--store", store, "--grid", "smoke", "--no-index"
+        )
+        assert code == 0
+        assert json.loads(captured.out)["indexed_rows"] is None
+        assert not (tmp_path / "artifact" / "index.sqlite").exists()
+
+    def test_pregen_negative_max_cells_is_reported(self, capsys, tmp_path):
+        code, captured = run_cli(
+            capsys, "pregen", "--store", str(tmp_path / "s"), "--grid", "smoke",
+            "--max-cells", "-1",
+        )
+        assert code == 2
+        assert "max_cells" in captured.err
+
+
 class TestCache:
     def _populate(self, capsys, store):
         code, _ = run_cli(
@@ -402,6 +449,31 @@ class TestCache:
         code, captured = run_cli(capsys, "cache", "gc", "--store", store)
         assert code == 2
         assert "eviction bound" in captured.err
+
+    def test_cache_index_build_and_drop(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        self._populate(capsys, store)
+        code, captured = run_cli(capsys, "cache", "index", "--store", store)
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["index"]["rows"] == 1
+        assert payload["index"]["reader"] == "sqlite"
+
+        code, captured = run_cli(
+            capsys, "cache", "index", "--store", store, "--drop"
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["index"]["dropped"] is True
+        assert payload["index"]["reader"] == "scan"
+        assert not (tmp_path / "store" / "index.sqlite").exists()
+
+    def test_cache_index_refuses_a_missing_store(self, capsys, tmp_path):
+        code, captured = run_cli(
+            capsys, "cache", "index", "--store", str(tmp_path / "nope")
+        )
+        assert code == 2
+        assert "no experiment store" in captured.err
 
     def test_cache_export(self, capsys, tmp_path):
         store = str(tmp_path / "store")

@@ -66,6 +66,10 @@ METRIC_KEYS = frozenset(
         "optimum_epoch_time_s",
         "optimality_gap",
         "best_score",
+        # pregen artifact (deterministic counts; rows/sec stays ungated)
+        "rows",
+        "indexed_rows",
+        "samples",
         # engine primitives (deterministic counts; wall-clock stays ungated)
         "num_tasks",
         "memo_fill_spans",
