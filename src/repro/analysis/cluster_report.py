@@ -45,6 +45,9 @@ class JobRecord:
     wasted_gpu_seconds: float = 0.0
     recovery_seconds: float = 0.0
     final_gpus: Optional[int] = None
+    tenant: str = "default"
+    deadline: Optional[float] = None
+    cost_usd: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.start_time < self.arrival_time:
@@ -86,6 +89,18 @@ class JobRecord:
         """Occupied GPU-seconds minus the slice faults destroyed."""
         return max(0.0, self.effective_gpu_seconds - self.wasted_gpu_seconds)
 
+    @property
+    def slowdown(self) -> float:
+        """Turnaround over service time (>= 1; queueing inflates it)."""
+        return (self.wait_time + self.service_time) / max(self.service_time, 1e-9)
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """Whether the job beat its deadline (``None`` when it has none)."""
+        if self.deadline is None:
+            return None
+        return self.finish_time <= self.deadline
+
     def to_dict(self) -> dict:
         return {
             "job_id": self.job_id,
@@ -108,6 +123,9 @@ class JobRecord:
             "wasted_gpu_seconds": float(self.wasted_gpu_seconds),
             "recovery_seconds": float(self.recovery_seconds),
             "final_gpus": self.final_gpus,
+            "tenant": self.tenant,
+            "deadline": self.deadline,
+            "cost_usd": (float(self.cost_usd) if self.cost_usd is not None else None),
         }
 
     @classmethod
@@ -128,6 +146,13 @@ class JobRecord:
             wasted_gpu_seconds=float(payload.get("wasted_gpu_seconds", 0.0)),
             recovery_seconds=float(payload.get("recovery_seconds", 0.0)),
             final_gpus=(int(final_gpus) if final_gpus is not None else None),
+            tenant=payload.get("tenant", "default"),
+            deadline=(
+                float(payload["deadline"]) if payload.get("deadline") is not None else None
+            ),
+            cost_usd=(
+                float(payload["cost_usd"]) if payload.get("cost_usd") is not None else None
+            ),
         )
 
 
@@ -169,6 +194,10 @@ class ClusterReport:
     #: job's attempts may span several nodes (restart/migrate); empty for
     #: fault-free runs, whose records are single-node by construction.
     node_busy_gpu_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Declared tenant specs (as dicts) and the price curve name, populated
+    #: by multi-tenant / spot-priced runs.
+    tenants: Tuple[dict, ...] = ()
+    price_curve: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Scalar metrics
@@ -208,14 +237,51 @@ class ClusterReport:
             return 0.0
         return sum(record.service_time for record in self.records) / len(self.records)
 
+    def _node_capacity_gpu_seconds(self) -> Dict[str, float]:
+        """Per-node live-capacity integral over the makespan.
+
+        Crash faults remove GPUs *permanently*, so a degraded fleet's
+        denominator is not ``gpus * makespan``: each crash subtracts the
+        removed GPUs for the remainder of the run.  Crash events replay in
+        time order with per-node clamping (a crash cannot remove more than
+        the node still has), mirroring the simulator's capacity ledger.
+        """
+        makespan = self.makespan
+        capacity = {node: float(gpus * makespan) for node, gpus in self.node_gpus.items()}
+        if makespan <= 0:
+            return capacity
+        live = dict(self.node_gpus)
+        for event in self.fault_events:
+            if event.get("kind") != "crash":
+                continue
+            node = event.get("node")
+            if node not in live:
+                continue
+            when = float(event.get("time", 0.0))
+            amount = event.get("gpus")
+            removed = live[node] if amount is None else min(int(amount), live[node])
+            live[node] -= removed
+            capacity[node] -= removed * max(0.0, makespan - when)
+        return capacity
+
+    @property
+    def capacity_gpu_seconds(self) -> float:
+        """Fleet GPU-seconds actually available (crash-adjusted)."""
+        return sum(self._node_capacity_gpu_seconds().values())
+
     @property
     def gpu_utilization(self) -> float:
-        """Busy GPU-seconds over fleet GPU-seconds across the makespan."""
-        makespan = self.makespan
-        if makespan <= 0 or self.total_gpus == 0:
+        """Busy GPU-seconds over the fleet GPU-seconds actually available.
+
+        The denominator is the live-capacity integral, so a fleet that
+        permanently loses GPUs to crashes is scored against what remained,
+        not against hardware that no longer exists.
+        """
+        capacity = self.capacity_gpu_seconds
+        if capacity <= 0:
             return 0.0
         busy = sum(record.effective_gpu_seconds for record in self.records)
-        return busy / (self.total_gpus * makespan)
+        return busy / capacity
 
     @property
     def jobs_per_hour(self) -> float:
@@ -266,11 +332,128 @@ class ClusterReport:
         Equals :attr:`gpu_utilization` for fault-free runs; under faults
         the gap between the two is exactly the fleet's recovery tax.
         """
-        makespan = self.makespan
-        if makespan <= 0 or self.total_gpus == 0:
+        capacity = self.capacity_gpu_seconds
+        if capacity <= 0:
             return 0.0
         useful = sum(record.useful_gpu_seconds for record in self.records)
-        return useful / (self.total_gpus * makespan)
+        return useful / capacity
+
+    # ------------------------------------------------------------------ #
+    # SLO analytics (multi-tenancy; trivially satisfied without tenants)
+    # ------------------------------------------------------------------ #
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Fraction of deadline-carrying jobs that finished in time.
+
+        Killed jobs with deadlines count as misses; a workload with no
+        deadlines scores a vacuous 1.0.
+        """
+        hits = 0
+        total = 0
+        for record in self.records:
+            met = record.met_deadline
+            if met is None:
+                continue
+            total += 1
+            hits += int(met)
+        for entry in self.killed:
+            if entry.get("deadline") is not None:
+                total += 1
+        if total == 0:
+            return 1.0
+        return hits / total
+
+    @property
+    def fairness_index(self) -> float:
+        """Jain's fairness index over per-tenant mean slowdowns.
+
+        Each tenant's allocation is the reciprocal of its mean job
+        slowdown (fast turnaround = large allocation); Jain's index
+        ``(Σx)² / (n·Σx²)`` is 1.0 when every tenant sees the same
+        slowdown and approaches ``1/n`` as one tenant monopolises the
+        fleet.  Always within [0, 1]; vacuously 1.0 with at most one
+        tenant represented in the records.
+        """
+        by_tenant: Dict[str, List[float]] = {}
+        for record in self.records:
+            by_tenant.setdefault(record.tenant, []).append(record.slowdown)
+        if len(by_tenant) <= 1:
+            return 1.0
+        allocations = [
+            1.0 / max(sum(slowdowns) / len(slowdowns), 1e-9)
+            for slowdowns in by_tenant.values()
+        ]
+        square_of_sum = sum(allocations) ** 2
+        sum_of_squares = sum(x * x for x in allocations)
+        if sum_of_squares <= 0:
+            return 1.0
+        return square_of_sum / (len(allocations) * sum_of_squares)
+
+    @property
+    def total_cost_usd(self) -> float:
+        """Spot-priced USD across completed and killed jobs (0 if unpriced)."""
+        total = sum(
+            record.cost_usd for record in self.records if record.cost_usd is not None
+        )
+        total += sum(
+            float(entry["cost_usd"])
+            for entry in self.killed
+            if entry.get("cost_usd") is not None
+        )
+        return total
+
+    @property
+    def cost_per_job(self) -> float:
+        """USD per *completed* job; killed jobs' spend is in the numerator."""
+        if not self.records:
+            return 0.0
+        return self.total_cost_usd / len(self.records)
+
+    def per_tenant(self) -> Dict[str, dict]:
+        """Per-tenant SLO breakdown (declared tenants always present)."""
+        names = [spec["name"] for spec in self.tenants]
+        for record in self.records:
+            if record.tenant not in names:
+                names.append(record.tenant)
+        for entry in self.killed:
+            tenant = entry.get("tenant", "default")
+            if tenant not in names:
+                names.append(tenant)
+        breakdown: Dict[str, dict] = {}
+        for name in names:
+            records = [record for record in self.records if record.tenant == name]
+            killed = [
+                entry for entry in self.killed if entry.get("tenant", "default") == name
+            ]
+            count = len(records)
+            with_deadline = [r for r in records if r.met_deadline is not None]
+            deadline_total = len(with_deadline) + sum(
+                1 for entry in killed if entry.get("deadline") is not None
+            )
+            hits = sum(1 for r in with_deadline if r.met_deadline)
+            cost = sum(r.cost_usd for r in records if r.cost_usd is not None)
+            cost += sum(
+                float(entry["cost_usd"])
+                for entry in killed
+                if entry.get("cost_usd") is not None
+            )
+            breakdown[name] = {
+                "jobs": count,
+                "killed": len(killed),
+                "mean_wait_s": (
+                    sum(r.wait_time for r in records) / count if count else 0.0
+                ),
+                "mean_slowdown": (
+                    sum(r.slowdown for r in records) / count if count else 0.0
+                ),
+                "gpu_seconds": sum(r.effective_gpu_seconds for r in records),
+                "useful_gpu_seconds": sum(r.useful_gpu_seconds for r in records),
+                "deadline_hit_rate": (
+                    hits / deadline_total if deadline_total else 1.0
+                ),
+                "cost_usd": cost,
+            }
+        return breakdown
 
     @property
     def goodput_jobs_per_hour(self) -> float:
@@ -300,8 +483,9 @@ class ClusterReport:
         ``node_busy_gpu_seconds`` (a restarted or migrated job occupies
         several nodes across its attempts); fault-free runs derive it from
         the records, whose single attempt ran entirely on ``record.node``.
+        Denominators are the per-node live-capacity integrals, so crashed
+        GPUs stop counting against the node from the moment they die.
         """
-        makespan = self.makespan
         busy: Dict[str, float] = {node: 0.0 for node in self.node_gpus}
         if self.node_busy_gpu_seconds:
             busy.update(self.node_busy_gpu_seconds)
@@ -310,9 +494,10 @@ class ClusterReport:
                 busy[record.node] = (
                     busy.get(record.node, 0.0) + record.effective_gpu_seconds
                 )
+        capacity = self._node_capacity_gpu_seconds()
         return {
-            node: (busy.get(node, 0.0) / (gpus * makespan) if makespan > 0 else 0.0)
-            for node, gpus in self.node_gpus.items()
+            node: (busy.get(node, 0.0) / capacity[node] if capacity[node] > 0 else 0.0)
+            for node in self.node_gpus
         }
 
     def per_node_jobs(self) -> Dict[str, int]:
@@ -356,6 +541,10 @@ class ClusterReport:
             "goodput": self.goodput,
             "goodput_jobs_per_hour": self.goodput_jobs_per_hour,
             "elastic_policy": self.elastic_policy,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "fairness_index": self.fairness_index,
+            "total_cost_usd": self.total_cost_usd,
+            "cost_per_job": self.cost_per_job,
         }
 
     def to_dict(self) -> dict:
@@ -371,6 +560,9 @@ class ClusterReport:
             node: float(seconds)
             for node, seconds in self.node_busy_gpu_seconds.items()
         }
+        payload["tenants"] = [dict(spec) for spec in self.tenants]
+        payload["price_curve"] = self.price_curve
+        payload["per_tenant"] = self.per_tenant()
         return payload
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -397,6 +589,8 @@ class ClusterReport:
                 node: float(seconds)
                 for node, seconds in payload.get("node_busy_gpu_seconds", {}).items()
             },
+            tenants=tuple(dict(spec) for spec in payload.get("tenants", ())),
+            price_curve=payload.get("price_curve"),
         )
 
 
@@ -426,6 +620,35 @@ def format_cluster_report(report: ClusterReport) -> str:
                 f"  wasted        : {report.wasted_gpu_hours:.2f} GPU-hours",
                 f"  recovery p95  : {format_seconds(report.recovery_p95)}",
             ]
+        )
+    per_tenant = report.per_tenant()
+    if report.tenants or len(per_tenant) > 1:
+        lines.extend(
+            [
+                f"  deadline hits : {report.deadline_hit_rate * 100:.1f}%",
+                f"  fairness      : {report.fairness_index:.3f} (Jain)",
+                f"  cost          : ${report.total_cost_usd:.2f} total, "
+                f"${report.cost_per_job:.2f}/job"
+                + (f" ({report.price_curve} pricing)" if report.price_curve else ""),
+            ]
+        )
+        tenant_rows = [
+            [
+                name,
+                str(stats["jobs"]),
+                str(stats["killed"]),
+                format_seconds(stats["mean_wait_s"]),
+                f"{stats['mean_slowdown']:.2f}x",
+                f"{stats['deadline_hit_rate'] * 100:.0f}%",
+                f"${stats['cost_usd']:.2f}",
+            ]
+            for name, stats in per_tenant.items()
+        ]
+        lines.append(
+            format_table(
+                ["tenant", "jobs", "killed", "mean wait", "slowdown", "ddl", "cost"],
+                tenant_rows,
+            )
         )
     utilization = report.per_node_utilization()
     jobs = report.per_node_jobs()

@@ -63,8 +63,15 @@ from repro.cluster.elastic import ELASTIC_POLICIES
 from repro.cluster.faults import FAULT_PRESETS, FaultTrace, parse_fault_spec
 from repro.cluster.scheduler import POLICIES
 from repro.cluster.spec import cluster_from_shorthand, default_cluster
+from repro.cluster.market import PRICE_CURVES, parse_price_curve
 from repro.cluster.simulator import run_policy_comparison
-from repro.cluster.workload import DEFAULT_MIX, Workload, arrival_process
+from repro.cluster.workload import (
+    DEFAULT_MIX,
+    Workload,
+    arrival_process,
+    parse_tenant_shorthand,
+    tenant_workload,
+)
 from repro.core.config import (
     ExperimentConfig,
     VALID_DATASETS,
@@ -226,8 +233,23 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     cluster = (
         cluster_from_shorthand(args.nodes) if args.nodes else default_cluster()
     )
+    if args.tenants and args.workload:
+        raise ReproError(
+            "--tenants and --workload are mutually exclusive; workload "
+            "traces carry their own tenant roster"
+        )
+    price_curve = parse_price_curve(args.price_curve)
     if args.workload:
         workload = _load_trace(args.workload, Workload.load, "workload trace")
+    elif args.tenants:
+        workload = tenant_workload(
+            parse_tenant_shorthand(args.tenants),
+            args.num_jobs,
+            rate=args.rate,
+            seed=args.seed,
+            deadline_slack=args.deadline_slack,
+            diurnal=args.arrival == "diurnal",
+        )
     else:
         workload = arrival_process(
             args.arrival,
@@ -258,6 +280,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         faults=faults,
         elastic=args.elastic,
         fault_seed=args.fault_seed,
+        price_curve=price_curve,
     )
     if args.table:
         print(compare_policies(reports), file=sys.stderr)
@@ -266,6 +289,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         "workload": workload.name,
         "reports": {name: report.to_dict() for name, report in reports.items()},
     }
+    if workload.tenants:
+        payload["tenants"] = [spec.to_dict() for spec in workload.tenants]
+    if price_curve is not None:
+        payload["price_curve"] = price_curve.name
     if faults is not None:
         payload["faults"] = {
             "spec": (
@@ -319,6 +346,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         faults=_resolve_cli_faults(args),
         elastic=args.elastic,
         fault_seed=args.fault_seed,
+        tenants=args.tenants,
+        price_curve=args.price_curve,
+        slo_deadline_slack=args.deadline_slack,
     )
     if args.table:
         print(format_tune_summary(result), file=sys.stderr)
@@ -589,6 +619,26 @@ def build_parser() -> argparse.ArgumentParser:
             "--fault-seed", type=int, default=0, help="seed for fault generation"
         )
 
+    def add_tenant_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--tenants",
+            help="tenant roster shorthand 'name:k=v,...;...' with k in "
+            "priority/quota/budget/deadline/rate/slack, e.g. "
+            "'batch:rate=0.4;prod:priority=2,deadline=strict,rate=0.1'",
+        )
+        sub.add_argument(
+            "--price-curve",
+            help="spot-market price curve: a preset "
+            f"({', '.join(sorted(PRICE_CURVES))}) or 't:mult,...[@period]'",
+        )
+        sub.add_argument(
+            "--deadline-slack",
+            type=float,
+            default=900.0,
+            help="seconds past arrival that deadline tenants' jobs must "
+            "finish by (default: 900)",
+        )
+
     def add_cell_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--task", default="nas", choices=VALID_TASKS)
         sub.add_argument("--dataset", default="cifar10", choices=VALID_DATASETS)
@@ -639,13 +689,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"placement policy ({', '.join(POLICIES.names())}) or 'all'",
     )
     cluster_parser.add_argument("--num-jobs", type=int, default=200)
-    cluster_parser.add_argument("--arrival", default="poisson", choices=("poisson", "bursty"))
+    cluster_parser.add_argument(
+        "--arrival", default="poisson", choices=("poisson", "bursty", "diurnal")
+    )
     cluster_parser.add_argument("--rate", type=float, default=0.5, help="jobs/sec (poisson)")
     cluster_parser.add_argument("--burst-size", type=int, default=8)
     cluster_parser.add_argument("--burst-gap", type=float, default=120.0)
     cluster_parser.add_argument("--seed", type=int, default=0)
     cluster_parser.add_argument("--workload", help="replay a JSON workload trace")
     cluster_parser.add_argument("--save-workload", help="save the generated workload")
+    add_tenant_arguments(cluster_parser)
     add_fault_arguments(cluster_parser)
     cluster_parser.add_argument(
         "--table", action="store_true", help="also print the comparison table to stderr"
@@ -695,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         help="epoch-time deadline in seconds (cost objective only)",
     )
+    add_tenant_arguments(tune_parser)
     add_fault_arguments(tune_parser)
     tune_parser.add_argument(
         "--table", action="store_true", help="also print the frontier table to stderr"

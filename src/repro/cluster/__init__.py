@@ -8,11 +8,16 @@ deterministic multi-job workload generation and trace replay
 (:mod:`~repro.cluster.simulator`).  Faults and elasticity ride on top:
 seeded fault models, JSON fault-trace replay and the checkpoint/restart
 cost model (:mod:`~repro.cluster.faults`) plus pluggable elastic
-rescheduling policies (:mod:`~repro.cluster.elastic`).  Fleet-level
-analytics live in :mod:`repro.analysis.cluster_report`.
+rescheduling policies (:mod:`~repro.cluster.elastic`).  Multi-tenancy
+adds tenant specs with quotas/priorities/deadline policies and tenant
+workload generators (:mod:`~repro.cluster.workload`), tenant-aware
+placement policies with voluntary preemption
+(:mod:`~repro.cluster.scheduler`) and spot-market pricing
+(:mod:`~repro.cluster.market`).  Fleet-level analytics live in
+:mod:`repro.analysis.cluster_report`.
 
-Documented in ``docs/API.md`` (cluster layer), ``docs/ARCHITECTURE.md``
-and ``docs/FAULTS.md``.
+Documented in ``docs/API.md`` (cluster layer), ``docs/ARCHITECTURE.md``,
+``docs/FAULTS.md`` and ``docs/TENANTS.md``.
 """
 
 from repro.cluster.elastic import (
@@ -37,21 +42,33 @@ from repro.cluster.spec import (
     cluster_from_shorthand,
     default_cluster,
 )
+from repro.cluster.market import (
+    GPU_HOURLY_RATES,
+    PRICE_CURVES,
+    PriceCurve,
+    gpu_cost,
+    parse_price_curve,
+)
 from repro.cluster.workload import (
     DEFAULT_MIX,
     JobMix,
     JobSpec,
+    TenantSpec,
     Workload,
     arrival_process,
     bursty_workload,
+    diurnal_workload,
+    parse_tenant_shorthand,
     poisson_workload,
     replay_workload,
+    tenant_workload,
 )
 from repro.cluster.scheduler import (
     POLICIES,
     Placement,
     PlacementPolicy,
     PolicyRegistry,
+    SchedulingContext,
     register_policy,
 )
 from repro.cluster.simulator import ClusterSimulator, run_policy_comparison
@@ -64,15 +81,25 @@ __all__ = [
     "DEFAULT_MIX",
     "JobMix",
     "JobSpec",
+    "TenantSpec",
     "Workload",
     "arrival_process",
     "bursty_workload",
+    "diurnal_workload",
+    "parse_tenant_shorthand",
     "poisson_workload",
     "replay_workload",
+    "tenant_workload",
+    "GPU_HOURLY_RATES",
+    "PRICE_CURVES",
+    "PriceCurve",
+    "gpu_cost",
+    "parse_price_curve",
     "POLICIES",
     "Placement",
     "PlacementPolicy",
     "PolicyRegistry",
+    "SchedulingContext",
     "register_policy",
     "ClusterSimulator",
     "run_policy_comparison",

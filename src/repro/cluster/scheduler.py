@@ -19,16 +19,31 @@ can use it by name.  Three built-ins cover the classic trade-offs:
 * ``"sjf"`` — shortest job first by profile-estimated service time, placed
   first-fit; minimises mean wait at the cost of starving long jobs.
 
-Documented in ``docs/API.md`` (cluster layer) and ``docs/ARCHITECTURE.md``
-(the registries).
+Three more are *tenant-aware* (``tenant_aware = True``): they accept an
+optional :class:`SchedulingContext` carrying tenant specs, live GPU usage
+and fair-share deficits, and all three (``preempts = True``) rank jobs
+by :meth:`urgency` so the simulator can evict strictly-less-urgent gangs
+on their behalf:
+
+* ``"priority"`` — highest tenant priority first (ties: arrival), with
+  backfill; may preempt lower-priority gangs.
+* ``"fair-share"`` — deficit-weighted round robin: the tenant furthest
+  below its entitled GPU share places first; work-conserving, but may
+  evict gangs of strictly less-owed tenants when backfill starves it.
+* ``"deadline-aware"`` — earliest deadline first (deadline-free jobs
+  last), with backfill; may preempt gangs with later deadlines.
+
+Documented in ``docs/API.md`` (cluster layer), ``docs/ARCHITECTURE.md``
+(the registries) and ``docs/TENANTS.md`` (multi-tenancy).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Protocol, Sequence, runtime_checkable
 
-from repro.cluster.workload import JobSpec
+from repro.cluster.workload import JobSpec, TenantSpec
 from repro.errors import ConfigurationError
 from repro.registry import NamedRegistry, make_register
 
@@ -49,6 +64,40 @@ class Placement:
 
 #: Estimator handed to policies: seconds of service time for a queued job.
 ServiceEstimator = Callable[[JobSpec], float]
+
+
+@dataclass(frozen=True)
+class SchedulingContext:
+    """Fleet state handed to tenant-aware policies at each drain instant.
+
+    ``tenants`` maps declared tenant names to their specs, ``usage_gpus``
+    is each tenant's currently-held GPU count, and ``deficits`` is the
+    fair-share ledger: entitled GPU-seconds so far minus consumed (a
+    positive deficit means the tenant is owed capacity).
+
+    Example:
+        >>> from repro.cluster.scheduler import SchedulingContext
+        >>> from repro.cluster.workload import JobSpec, TenantSpec
+        >>> context = SchedulingContext(
+        ...     now=5.0, tenants={"prod": TenantSpec("prod", priority=2)})
+        >>> job = JobSpec(job_id="j0", arrival_time=0.0, gpus=1, tenant="prod")
+        >>> context.priority(job)
+        2
+    """
+
+    now: float = 0.0
+    tenants: Mapping[str, TenantSpec] = field(default_factory=dict)
+    usage_gpus: Mapping[str, int] = field(default_factory=dict)
+    deficits: Mapping[str, float] = field(default_factory=dict)
+
+    def priority(self, job: JobSpec) -> int:
+        """The job's tenant priority (0 for undeclared tenants)."""
+        spec = self.tenants.get(job.tenant)
+        return spec.priority if spec is not None else 0
+
+    def deficit(self, tenant: str) -> float:
+        """How many GPU-seconds the tenant is owed (0.0 when untracked)."""
+        return self.deficits.get(tenant, 0.0)
 
 
 @runtime_checkable
@@ -181,6 +230,118 @@ class ShortestJobFirst:
     def place(self, pending, free_gpus, estimate) -> Optional[Placement]:
         ranked = sorted(
             pending, key=lambda job: (estimate(job), job.arrival_time, job.job_id)
+        )
+        for job in ranked:
+            node = first_fit_node(job, free_gpus)
+            if node is not None:
+                return Placement(job_id=job.job_id, node=node)
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# Tenant-aware policies (multi-tenancy; see docs/TENANTS.md)
+# ---------------------------------------------------------------------- #
+@register_policy
+class PriorityFirstFit:
+    """Highest tenant priority first, first-fit, with backfill.
+
+    ``urgency`` is the tenant priority, so the simulator may evict gangs
+    of strictly lower-priority tenants to start a starved high-priority
+    job.  Ties break on arrival order then job id.
+    """
+
+    name = "priority"
+    tenant_aware = True
+    preempts = True
+
+    def urgency(self, job, context: Optional[SchedulingContext]) -> float:
+        return float(context.priority(job)) if context is not None else 0.0
+
+    def place(
+        self, pending, free_gpus, estimate, context: Optional[SchedulingContext] = None
+    ) -> Optional[Placement]:
+        ranked = sorted(
+            pending,
+            key=lambda job: (-self.urgency(job, context), job.arrival_time, job.job_id),
+        )
+        for job in ranked:
+            node = first_fit_node(job, free_gpus)
+            if node is not None:
+                return Placement(job_id=job.job_id, node=node)
+        return None
+
+
+@register_policy
+class DeficitFairShare:
+    """Deficit-weighted fair share across tenants, work-conserving.
+
+    Tenants are ranked by fair-share deficit (entitled minus consumed
+    GPU-seconds, largest owed first; ties break on name), and the
+    front-ranked tenant's earliest placeable job starts.  If nothing of
+    that tenant's fits, the next tenant is tried — the policy never
+    idles GPUs to enforce fairness, it only re-orders access.
+
+    ``urgency`` is the tenant's deficit, so when backfill fragments the
+    fleet and starves a tenant that is owed capacity, the simulator may
+    evict gangs of strictly less-owed tenants.  Deficits are evaluated
+    once per drain instant, so eviction cannot flip the ordering
+    mid-drain.
+    """
+
+    name = "fair-share"
+    tenant_aware = True
+    preempts = True
+
+    def urgency(self, job, context: Optional[SchedulingContext]) -> float:
+        return context.deficit(job.tenant) if context is not None else 0.0
+
+    def place(
+        self, pending, free_gpus, estimate, context: Optional[SchedulingContext] = None
+    ) -> Optional[Placement]:
+        if not pending:
+            return None
+        deficit = context.deficit if context is not None else (lambda tenant: 0.0)
+        tenants = sorted(
+            {job.tenant for job in pending},
+            key=lambda tenant: (-deficit(tenant), tenant),
+        )
+        for tenant in tenants:
+            for job in pending:
+                if job.tenant != tenant:
+                    continue
+                node = first_fit_node(job, free_gpus)
+                if node is not None:
+                    return Placement(job_id=job.job_id, node=node)
+        return None
+
+
+@register_policy
+class DeadlineAware:
+    """Earliest deadline first (EDF), first-fit, with backfill.
+
+    Jobs without deadlines sort last (after every deadline-carrying
+    job).  ``urgency`` is the negated deadline, so the simulator may
+    evict a gang with a later deadline — or none — to start a job whose
+    deadline is closing.
+    """
+
+    name = "deadline-aware"
+    tenant_aware = True
+    preempts = True
+
+    def urgency(self, job, context: Optional[SchedulingContext]) -> float:
+        return -job.deadline if job.deadline is not None else -math.inf
+
+    def place(
+        self, pending, free_gpus, estimate, context: Optional[SchedulingContext] = None
+    ) -> Optional[Placement]:
+        ranked = sorted(
+            pending,
+            key=lambda job: (
+                job.deadline if job.deadline is not None else math.inf,
+                job.arrival_time,
+                job.job_id,
+            ),
         )
         for job in ranked:
             node = first_fit_node(job, free_gpus)

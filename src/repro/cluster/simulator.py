@@ -29,6 +29,16 @@ gangs recover through a pluggable elastic policy
 :class:`~repro.cluster.faults.RecoveryModel` that knows decoupled
 sub-pipelines (DPU/LS) lose less progress than synchronous gangs.
 
+Multi-tenancy (PR 10) rides the same attempt-based loop: workloads that
+declare :class:`~repro.cluster.workload.TenantSpec` tenants (or carry job
+deadlines, or attach a :class:`~repro.cluster.market.PriceCurve`) are
+routed through it even without faults, adding per-tenant GPU quotas,
+fair-share deficit tracking, *voluntary* preemption on behalf of
+``preempts = True`` policies (reusing the fault-eviction machinery:
+interrupted gangs pay the same checkpoint losses and restart costs), and
+spot-priced cost accounting per attempt.  Single-tenant, deadline-free,
+unpriced workloads keep the original reliable fast path byte-identical.
+
 Determinism: workloads, fault models and the event loop are all seeded and
 tie-broken by insertion order, so the same (workload, trace, policy) always
 produces a bit-identical :class:`ClusterReport` — fault runs included.
@@ -65,7 +75,13 @@ from repro.cluster.faults import (
     RecoveryModel,
     resolve_faults,
 )
-from repro.cluster.scheduler import POLICIES, Placement, PlacementPolicy
+from repro.cluster.market import PriceCurve, gpu_cost
+from repro.cluster.scheduler import (
+    POLICIES,
+    Placement,
+    PlacementPolicy,
+    SchedulingContext,
+)
 from repro.cluster.spec import ClusterSpec, NodeSpec
 from repro.cluster.workload import JobSpec, Workload
 from repro.core.session import Session
@@ -110,6 +126,7 @@ class _Progress:
     wasted_gpu_seconds: float = 0.0
     recoveries: List[float] = field(default_factory=list)
     interrupted_at: Optional[float] = None
+    cost_usd: float = 0.0
 
 
 class ClusterSimulator:
@@ -146,6 +163,7 @@ class ClusterSimulator:
         elastic: Union[str, ReschedulePolicy] = "restart",
         recovery: Optional[RecoveryModel] = None,
         fault_seed: int = 0,
+        price_curve: Optional[PriceCurve] = None,
     ) -> None:
         self.cluster = cluster
         self.policy = POLICIES.get(policy) if isinstance(policy, str) else policy
@@ -154,6 +172,7 @@ class ClusterSimulator:
         self.elastic = resolve_elastic(elastic)
         self.recovery = recovery if recovery is not None else RecoveryModel()
         self.fault_seed = fault_seed
+        self.price_curve = price_curve
         # Pass one dict to several simulators (as run_policy_comparison does)
         # and the epoch-time memo is shared too: later simulators replay the
         # fleet without re-running any discrete-event simulation.
@@ -254,6 +273,12 @@ class ClusterSimulator:
                     f"{self.cluster.max_gpus_per_node} GPUs"
                 )
         trace = resolve_faults(self.faults, self.cluster, workload, seed=self.fault_seed)
+        # Declared tenants, job deadlines or spot pricing all need the
+        # attempt-based loop (quotas, preemption, per-attempt cost); plain
+        # workloads keep the original reliable fast path bit-for-bit.
+        slo_mode = bool(workload.tenants) or any(
+            job.deadline is not None for job in workload.jobs
+        )
         started = time.perf_counter()
         with span(
             "cluster.run",
@@ -261,7 +286,7 @@ class ClusterSimulator:
             jobs=len(workload.jobs),
             faulted=trace is not None,
         ):
-            if trace is None:
+            if trace is None and not slo_mode and self.price_curve is None:
                 report = self._run_reliable(workload)
             else:
                 report = self._run_with_faults(workload, trace)
@@ -378,6 +403,8 @@ class ClusterSimulator:
                         arrival_time=job.arrival_time,
                         start_time=now,
                         finish_time=finish,
+                        tenant=job.tenant,
+                        deadline=job.deadline,
                     )
                 )
 
@@ -392,11 +419,14 @@ class ClusterSimulator:
         )
 
     # ------------------------------------------------------------------ #
-    # Fault-injected event loop
+    # Attempt-based event loop (faults, tenants, deadlines, pricing)
     # ------------------------------------------------------------------ #
-    def _run_with_faults(self, workload: Workload, trace: FaultTrace) -> ClusterReport:
+    def _run_with_faults(
+        self, workload: Workload, trace: Optional[FaultTrace]
+    ) -> ClusterReport:
         known_nodes = set(self.cluster.node_gpus())
-        for event in trace.events:
+        trace_events = trace.events if trace is not None else ()
+        for event in trace_events:
             if event.node not in known_nodes:
                 raise ClusterError(
                     f"fault trace {trace.name!r} names unknown node "
@@ -408,7 +438,7 @@ class ClusterSimulator:
         # carries the actually-reclaimed amount from 'down' to its 'up'.
         timeline_entries: List[Tuple[float, int, str, tuple]] = []
         order = itertools.count()
-        for event in trace.events:
+        for event in trace_events:
             if event.kind == "crash":
                 timeline_entries.append((event.time, next(order), "crash", (event, None)))
             elif event.kind == "preempt":
@@ -429,6 +459,19 @@ class ClusterSimulator:
         down: Dict[str, int] = {name: 0 for name in capacity}  # preempted now
         used: Dict[str, int] = {name: 0 for name in capacity}
         factor: Dict[str, float] = {name: 1.0 for name in capacity}
+
+        # Multi-tenancy state: declared specs, GPU-seconds consumed so far
+        # (settled attempts only — live attempts are added on demand), and
+        # the fair-share weights (quota when declared, else equal shares).
+        tenant_specs = workload.tenant_map()
+        tenant_mode = bool(tenant_specs)
+        tenant_aware = getattr(self.policy, "tenant_aware", False)
+        policy_preempts = getattr(self.policy, "preempts", False)
+        consumed: Dict[str, float] = {}
+        share_weight = {
+            name: float(spec.quota_gpus) if spec.quota_gpus is not None else 1.0
+            for name, spec in tenant_specs.items()
+        }
 
         arrivals: List[JobSpec] = list(workload.jobs)
         next_arrival = 0
@@ -453,6 +496,70 @@ class ClusterSimulator:
                 name: max(0, capacity[name] - down[name]) - used[name]
                 for name in capacity
             }
+
+        def usage_now() -> Dict[str, int]:
+            usage: Dict[str, int] = {}
+            for attempt in entries.values():
+                usage[attempt.job.tenant] = usage.get(attempt.job.tenant, 0) + attempt.gpus
+            return usage
+
+        def deficits_at(t: float) -> Dict[str, float]:
+            """Entitled minus consumed GPU-seconds per declared tenant.
+
+            Entitlement is the tenant's share-weighted slice of the live
+            fleet capacity integrated from t=0; positive deficit means the
+            tenant is owed capacity and fair-share should favour it.
+            """
+            if not tenant_mode:
+                return {}
+            live = dict(consumed)
+            for attempt in entries.values():
+                live[attempt.job.tenant] = live.get(attempt.job.tenant, 0.0) + (
+                    attempt.gpus * (t - attempt.start)
+                )
+            fleet = sum(max(0, capacity[name] - down[name]) for name in capacity)
+            total_weight = sum(share_weight.values()) or 1.0
+            return {
+                name: fleet * share_weight[name] / total_weight * t - live.get(name, 0.0)
+                for name in tenant_specs
+            }
+
+        def scheduling_context(t: float) -> Optional[SchedulingContext]:
+            if not tenant_aware:
+                return None
+            return SchedulingContext(
+                now=t,
+                tenants=tenant_specs,
+                usage_gpus=usage_now(),
+                deficits=deficits_at(t),
+            )
+
+        def eligible_jobs(
+            reserved: Optional[Dict[str, int]] = None
+        ) -> Tuple[JobSpec, ...]:
+            """The queue minus jobs whose tenant GPU quota is exhausted.
+
+            ``reserved`` carries same-instant placements that have not
+            become live attempts yet (place_pass reserves GPUs before
+            starting the batch), so a tenant cannot blow through its
+            quota within one drain instant.
+            """
+            if not tenant_mode:
+                return tuple(queue)
+            usage = usage_now()
+            for tenant, gpus in (reserved or {}).items():
+                usage[tenant] = usage.get(tenant, 0) + gpus
+            pending = []
+            for job in queue:
+                spec = tenant_specs.get(job.tenant)
+                if (
+                    spec is not None
+                    and spec.quota_gpus is not None
+                    and usage.get(job.tenant, 0) + job.gpus > spec.quota_gpus
+                ):
+                    continue
+                pending.append(job)
+            return tuple(pending)
 
         def settle(attempt: _Attempt, t: float) -> None:
             """Convert wall time since the last settle into nominal progress."""
@@ -523,6 +630,12 @@ class ClusterSimulator:
             prog.wasted_gpu_seconds += attempt.gpus * max(0.0, wall - preserved)
             prog.preemptions += 1
             prog.interrupted_at = t
+            prog.cost_usd += gpu_cost(
+                attempt.node.server, attempt.gpus, attempt.start, t, self.price_curve
+            )
+            consumed[attempt.job.tenant] = (
+                consumed.get(attempt.job.tenant, 0.0) + attempt.gpus * wall
+            )
             used[attempt.node.name] -= attempt.gpus
             del entries[attempt.seq]
 
@@ -532,6 +645,12 @@ class ClusterSimulator:
             node_busy[attempt.node.name] += attempt.gpus * wall
             prog.gpu_seconds += attempt.gpus * wall
             prog.wasted_gpu_seconds += attempt.gpus * attempt.overhead
+            prog.cost_usd += gpu_cost(
+                attempt.node.server, attempt.gpus, attempt.start, t, self.price_curve
+            )
+            consumed[attempt.job.tenant] = (
+                consumed.get(attempt.job.tenant, 0.0) + attempt.gpus * wall
+            )
             used[attempt.node.name] -= attempt.gpus
             del entries[attempt.seq]
             job = attempt.job
@@ -554,6 +673,9 @@ class ClusterSimulator:
                     wasted_gpu_seconds=prog.wasted_gpu_seconds,
                     recovery_seconds=sum(prog.recoveries),
                     final_gpus=attempt.gpus,
+                    tenant=job.tenant,
+                    deadline=job.deadline,
+                    cost_usd=prog.cost_usd,
                 )
             )
 
@@ -595,33 +717,112 @@ class ClusterSimulator:
                 action = "shrink" if node.name == lost_node else "migrate"
                 start_attempt(job, node, gpus, t, action)
 
-        def drain(t: float) -> None:
-            """Place queued gangs as far as the placement policy allows.
+        def place_pass(t: float) -> bool:
+            """One round of placements as far as the policy allows.
 
             Decisions are collected first (reserving GPUs so the policy sees
             a correct ledger), the missing epoch-time cells batch-fill in
             one fan-out, then the attempts start — identical schedule, one
-            memo-fill span per drain instant.
+            memo-fill span per drain instant.  Tenant quotas filter the
+            queue the policy sees; tenant-aware policies additionally get a
+            :class:`SchedulingContext` of usage and fair-share deficits.
             """
             placed: List[Tuple[JobSpec, NodeSpec]] = []
+            reserved: Dict[str, int] = {}
             while queue:
-                placement = self.policy.place(
-                    tuple(queue), free_map(), self.estimate_service_time
-                )
+                pending = eligible_jobs(reserved)
+                if not pending:
+                    break
+                context = scheduling_context(t)
+                if context is not None:
+                    placement = self.policy.place(
+                        pending, free_map(), self.estimate_service_time, context
+                    )
+                else:
+                    placement = self.policy.place(
+                        pending, free_map(), self.estimate_service_time
+                    )
                 if placement is None:
                     break
-                job, node = self._resolve(placement, queue, free_map())
+                job, node = self._resolve(placement, list(pending), free_map())
                 queue.remove(job)
                 used[node.name] += job.gpus
+                reserved[job.tenant] = reserved.get(job.tenant, 0) + job.gpus
                 placed.append((job, node))
             if not placed:
-                return
+                return False
             self._fill_epoch_times(placed)
             for job, node in placed:
                 # Hand the reservation back to start_attempt's own ledger
                 # update; no policy consultation happens in between.
                 used[node.name] -= job.gpus
                 start_attempt(job, node, job.gpus, t, "restart")
+            return True
+
+        def try_preempt(t: float) -> bool:
+            """Voluntarily evict strictly-less-urgent gangs for a starved job.
+
+            Consulted only after a placement pass stalls with jobs still
+            queued, and only for policies declaring ``preempts = True``.
+            Victims are the youngest strictly-lower-urgency gangs on the
+            first node that can host the starved job after eviction; they
+            take the standard interrupt path (checkpoint losses, restart
+            overhead, recovery latency all charged) and rejoin the queue.
+            Urgency comparisons are strict, so preemption chains terminate
+            and equal-urgency gangs never thrash.
+            """
+            if not queue:
+                return False
+            context = scheduling_context(t)
+            urgency = self.policy.urgency
+            ranked = sorted(
+                eligible_jobs(),
+                key=lambda job: (-urgency(job, context), job.arrival_time, job.job_id),
+            )
+            for job in ranked:
+                target = urgency(job, context)
+                for node in self.cluster.nodes:
+                    available = max(0, capacity[node.name] - down[node.name])
+                    if available < job.gpus:
+                        continue
+                    current_free = free_map()[node.name]
+                    victims = sorted(
+                        (
+                            attempt
+                            for attempt in entries.values()
+                            if attempt.node.name == node.name
+                            and urgency(attempt.job, context) < target
+                        ),
+                        key=lambda attempt: (attempt.start, attempt.seq),
+                        reverse=True,
+                    )
+                    evict: List[_Attempt] = []
+                    gain = 0
+                    for attempt in victims:
+                        if current_free + gain >= job.gpus:
+                            break
+                        evict.append(attempt)
+                        gain += attempt.gpus
+                    if evict and current_free + gain >= job.gpus:
+                        for attempt in evict:
+                            victim = attempt.job
+                            interrupt(attempt, t)
+                            queue.append(victim)
+                        # The interrupts invalidated the victims' completion
+                        # entries; rebuild before the next event is picked.
+                        rebuild_heap()
+                        return True
+            return False
+
+        def drain(t: float) -> None:
+            """Place queued gangs, preempting on the policy's behalf if stuck."""
+            while True:
+                progressed = place_pass(t)
+                if not policy_preempts:
+                    # place_pass already looped to a policy refusal.
+                    return
+                if not progressed and not try_preempt(t):
+                    return
 
         while next_arrival < len(arrivals) or queue or entries:
             event_times = []
@@ -639,7 +840,18 @@ class ClusterSimulator:
                     (max(0, capacity[name] - down[name]) for name in capacity),
                     default=0,
                 )
-                unplaceable = [job for job in queue if job.gpus > peak]
+
+                def never_fits(job: JobSpec) -> bool:
+                    if job.gpus > peak:
+                        return True
+                    spec = tenant_specs.get(job.tenant)
+                    # A gang larger than its tenant's whole quota can never
+                    # start, however idle the fleet.
+                    return spec is not None and spec.quota_gpus is not None and (
+                        job.gpus > spec.quota_gpus
+                    )
+
+                unplaceable = [job for job in queue if never_fits(job)]
                 if unplaceable:
                     for job in unplaceable:
                         queue.remove(job)
@@ -652,6 +864,9 @@ class ClusterSimulator:
                                 "gpu_seconds": prog.gpu_seconds,
                                 "wasted_gpu_seconds": prog.wasted_gpu_seconds,
                                 "killed_at": now,
+                                "tenant": job.tenant,
+                                "deadline": job.deadline,
+                                "cost_usd": prog.cost_usd,
                             }
                         )
                     # The kills may have unblocked head-of-line placement;
@@ -733,12 +948,14 @@ class ClusterSimulator:
             workload_name=workload.name,
             node_gpus=self.cluster.node_gpus(),
             records=tuple(records),
-            fault_events=tuple(event.to_dict() for event in trace.events),
-            fault_trace_name=trace.name,
-            elastic_policy=self.elastic.name,
+            fault_events=tuple(event.to_dict() for event in trace_events),
+            fault_trace_name=trace.name if trace is not None else None,
+            elastic_policy=self.elastic.name if trace is not None else None,
             recoveries=tuple(recoveries),
             killed=tuple(killed),
             node_busy_gpu_seconds=dict(node_busy),
+            tenants=tuple(spec.to_dict() for spec in workload.tenants),
+            price_curve=self.price_curve.name if self.price_curve is not None else None,
         )
 
     # ------------------------------------------------------------------ #
@@ -766,31 +983,36 @@ class ClusterSimulator:
 def run_policy_comparison(
     cluster: ClusterSpec,
     workload: Workload,
-    policies: Tuple[str, ...] = ("fifo", "best-fit", "sjf"),
+    policies: Optional[Tuple[str, ...]] = None,
     session: Optional[Session] = None,
     faults: Union[FaultTrace, FaultModel, str, None] = None,
     elastic: Union[str, ReschedulePolicy] = "restart",
     recovery: Optional[RecoveryModel] = None,
     fault_seed: int = 0,
+    price_curve: Optional[PriceCurve] = None,
 ) -> Dict[str, ClusterReport]:
     """Serve one workload under several policies, sharing one session.
 
-    The session *and* the per-cell epoch-time memo are shared across the
-    per-policy simulators, so the second and third policies replay the
-    fleet with zero additional profile builds and zero additional
-    discrete-event simulations.  When a fault source is given, every
-    policy faces the *same* trace (models materialise once, deterministic
-    in the seed), so the comparison isolates the policy.
+    ``policies`` defaults to every registered placement policy.  The
+    session *and* the per-cell epoch-time memo are shared across the
+    per-policy simulators, so later policies replay the fleet with zero
+    additional profile builds and zero additional discrete-event
+    simulations.  When a fault source is given, every policy faces the
+    *same* trace (models materialise once, deterministic in the seed),
+    so the comparison isolates the policy.
 
     Example:
         >>> from repro.cluster.simulator import run_policy_comparison
         >>> from repro.cluster.spec import default_cluster
         >>> from repro.cluster.workload import poisson_workload
         >>> workload = poisson_workload(num_jobs=6, rate=0.5)
-        >>> reports = run_policy_comparison(default_cluster(), workload)
+        >>> reports = run_policy_comparison(default_cluster(), workload,
+        ...                                 policies=("fifo", "sjf"))
         >>> sorted(reports)
-        ['best-fit', 'fifo', 'sjf']
+        ['fifo', 'sjf']
     """
+    if policies is None:
+        policies = POLICIES.names()
     shared = session if session is not None else Session()
     trace = resolve_faults(faults, cluster, workload, seed=fault_seed)
     epoch_times: Dict[EpochKey, float] = {}
@@ -805,6 +1027,7 @@ def run_policy_comparison(
             elastic=elastic,
             recovery=recovery,
             fault_seed=fault_seed,
+            price_curve=price_curve,
         )
         reports[name] = simulator.run(workload)
     return reports

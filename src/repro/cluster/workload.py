@@ -7,29 +7,176 @@ server preset: which hardware it runs on is the scheduler's decision, so the
 :class:`~repro.core.config.ExperimentConfig` is only materialised once a
 placement names a node.
 
-Workloads come from three sources, all deterministic:
+Workloads come from four sources, all deterministic:
 
 * :func:`poisson_workload` — memoryless arrivals at a given rate (the classic
   open-loop traffic model),
 * :func:`bursty_workload` — synchronised bursts separated by lulls (the
   hardest case for gang scheduling, since a burst's gangs contend at once),
+* :func:`diurnal_workload` / :func:`tenant_workload` — time-varying arrivals
+  and multi-tenant fleets: each :class:`TenantSpec` (priority, GPU quota,
+  budget, deadline policy) contributes its own seeded sub-stream, and jobs
+  carry tenant tags + optional deadlines for the SLO analytics,
 * :meth:`Workload.load` — JSON trace replay, so real or hand-crafted traces
   run through the exact same simulator path as generated ones.
 
-Documented in ``docs/API.md`` (cluster layer).
+Documented in ``docs/API.md`` (cluster layer) and ``docs/TENANTS.md``.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import random
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Iterator, Tuple
+from typing import Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import ExperimentConfig, VALID_DATASETS, VALID_TASKS
 from repro.errors import ConfigurationError
 from repro.parallel.registry import REGISTRY
+
+#: How a tenant's job deadlines are interpreted by the SLO analytics.
+DEADLINE_POLICIES = ("none", "soft", "strict")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a shared fleet: identity plus scheduling contract.
+
+    ``priority`` orders tenants for the ``priority`` policy (higher wins
+    and may preempt), ``quota_gpus`` caps concurrently-held GPUs,
+    ``budget_per_gpu_hour`` is the spot price above which the tenant
+    would rather queue, and ``deadline_policy`` says whether this
+    tenant's jobs carry deadlines (``"soft"``/``"strict"``) or not
+    (``"none"``).  ``rate``/``deadline_slack`` parameterise
+    :func:`tenant_workload` generation.
+
+    Example:
+        >>> from repro.cluster.workload import TenantSpec
+        >>> TenantSpec("prod", priority=2, deadline_policy="strict").to_dict()["name"]
+        'prod'
+    """
+
+    name: str
+    priority: int = 0
+    quota_gpus: Optional[int] = None
+    budget_per_gpu_hour: Optional[float] = None
+    deadline_policy: str = "none"
+    rate: Optional[float] = None
+    deadline_slack: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or any(ch in self.name for ch in ";:,= "):
+            raise ConfigurationError(
+                f"tenant name {self.name!r} must be non-empty and free of ';:,= '"
+            )
+        if self.quota_gpus is not None and self.quota_gpus < 1:
+            raise ConfigurationError(f"tenant {self.name!r} quota_gpus must be >= 1")
+        if self.budget_per_gpu_hour is not None and self.budget_per_gpu_hour <= 0:
+            raise ConfigurationError(f"tenant {self.name!r} budget must be > 0")
+        if self.deadline_policy not in DEADLINE_POLICIES:
+            raise ConfigurationError(
+                f"tenant {self.name!r} deadline_policy must be one of "
+                f"{DEADLINE_POLICIES}, got {self.deadline_policy!r}"
+            )
+        if self.rate is not None and self.rate <= 0:
+            raise ConfigurationError(f"tenant {self.name!r} rate must be > 0")
+        if self.deadline_slack is not None and self.deadline_slack <= 0:
+            raise ConfigurationError(f"tenant {self.name!r} deadline_slack must be > 0")
+
+    @property
+    def has_deadlines(self) -> bool:
+        return self.deadline_policy != "none"
+
+    def to_dict(self) -> dict:
+        payload: dict = {"name": self.name, "priority": self.priority}
+        if self.quota_gpus is not None:
+            payload["quota_gpus"] = self.quota_gpus
+        if self.budget_per_gpu_hour is not None:
+            payload["budget_per_gpu_hour"] = self.budget_per_gpu_hour
+        if self.deadline_policy != "none":
+            payload["deadline_policy"] = self.deadline_policy
+        if self.rate is not None:
+            payload["rate"] = self.rate
+        if self.deadline_slack is not None:
+            payload["deadline_slack"] = self.deadline_slack
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TenantSpec":
+        return cls(
+            name=str(payload["name"]),
+            priority=int(payload.get("priority", 0)),
+            quota_gpus=(
+                int(payload["quota_gpus"]) if payload.get("quota_gpus") is not None else None
+            ),
+            budget_per_gpu_hour=(
+                float(payload["budget_per_gpu_hour"])
+                if payload.get("budget_per_gpu_hour") is not None
+                else None
+            ),
+            deadline_policy=str(payload.get("deadline_policy", "none")),
+            rate=float(payload["rate"]) if payload.get("rate") is not None else None,
+            deadline_slack=(
+                float(payload["deadline_slack"])
+                if payload.get("deadline_slack") is not None
+                else None
+            ),
+        )
+
+
+#: Shorthand keys accepted by :func:`parse_tenant_shorthand`.
+_TENANT_KEYS = {
+    "priority": ("priority", int),
+    "quota": ("quota_gpus", int),
+    "budget": ("budget_per_gpu_hour", float),
+    "deadline": ("deadline_policy", str),
+    "rate": ("rate", float),
+    "slack": ("deadline_slack", float),
+}
+
+
+def parse_tenant_shorthand(text: str) -> Tuple[TenantSpec, ...]:
+    """Parse the CLI/API tenant shorthand into :class:`TenantSpec` tuples.
+
+    Grammar: ``name[:key=value[,key=value...]]`` joined by ``;``.  Keys:
+    ``priority`` (int), ``quota`` (GPUs), ``budget`` ($/GPU-hour),
+    ``deadline`` (``none``/``soft``/``strict``), ``rate`` (jobs/sec),
+    ``slack`` (deadline slack seconds).
+
+    Example:
+        >>> from repro.cluster.workload import parse_tenant_shorthand
+        >>> prod, batch = parse_tenant_shorthand(
+        ...     "prod:priority=2,quota=8,deadline=strict;batch")
+        >>> (prod.priority, prod.quota_gpus, batch.name)
+        (2, 8, 'batch')
+    """
+    specs = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, _, options = chunk.partition(":")
+        kwargs: dict = {}
+        for option in filter(None, (o.strip() for o in options.split(","))):
+            key, sep, value = option.partition("=")
+            if not sep or key not in _TENANT_KEYS:
+                raise ConfigurationError(
+                    f"bad tenant option {option!r} for {name.strip()!r}; "
+                    f"known keys: {sorted(_TENANT_KEYS)}"
+                )
+            field_name, cast = _TENANT_KEYS[key]
+            try:
+                kwargs[field_name] = cast(value)
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"bad tenant option {option!r}: {error}"
+                ) from None
+        specs.append(TenantSpec(name=name.strip(), **kwargs))
+    if not specs:
+        raise ConfigurationError(f"tenant shorthand {text!r} names no tenants")
+    return tuple(specs)
 
 
 @dataclass(frozen=True)
@@ -53,10 +200,19 @@ class JobSpec:
     strategy: str = "TR+DPU+AHD"
     epochs: int = 1
     simulated_steps: int = 6
+    tenant: str = "default"
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.job_id:
             raise ConfigurationError("job_id must be non-empty")
+        if not self.tenant:
+            raise ConfigurationError(f"job {self.job_id!r} tenant must be non-empty")
+        if self.deadline is not None and self.deadline <= self.arrival_time:
+            raise ConfigurationError(
+                f"job {self.job_id!r} deadline ({self.deadline}) must be after "
+                f"its arrival ({self.arrival_time})"
+            )
         if self.arrival_time < 0:
             raise ConfigurationError(f"job {self.job_id!r} arrival_time must be >= 0")
         if self.gpus < 1:
@@ -109,7 +265,7 @@ class JobSpec:
         )
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "job_id": self.job_id,
             "arrival_time": self.arrival_time,
             "gpus": self.gpus,
@@ -120,6 +276,12 @@ class JobSpec:
             "epochs": self.epochs,
             "simulated_steps": self.simulated_steps,
         }
+        # Emitted only when set, so pre-tenancy traces stay byte-identical.
+        if self.tenant != "default":
+            payload["tenant"] = self.tenant
+        if self.deadline is not None:
+            payload["deadline"] = self.deadline
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JobSpec":
@@ -133,6 +295,10 @@ class JobSpec:
             strategy=payload.get("strategy", "TR+DPU+AHD"),
             epochs=int(payload.get("epochs", 1)),
             simulated_steps=int(payload.get("simulated_steps", 6)),
+            tenant=payload.get("tenant", "default"),
+            deadline=(
+                float(payload["deadline"]) if payload.get("deadline") is not None else None
+            ),
         )
 
 
@@ -198,6 +364,7 @@ class Workload:
 
     name: str
     jobs: Tuple[JobSpec, ...]
+    tenants: Tuple[TenantSpec, ...] = ()
 
     def __post_init__(self) -> None:
         ids = [job.job_id for job in self.jobs]
@@ -208,6 +375,17 @@ class Workload:
             raise ConfigurationError(
                 f"workload {self.name!r} jobs must be sorted by arrival time"
             )
+        tenant_names = [spec.name for spec in self.tenants]
+        if len(set(tenant_names)) != len(tenant_names):
+            raise ConfigurationError(f"workload {self.name!r} has duplicate tenants")
+        if self.tenants:
+            declared = set(tenant_names)
+            unknown = sorted({job.tenant for job in self.jobs} - declared)
+            if unknown:
+                raise ConfigurationError(
+                    f"workload {self.name!r} jobs reference undeclared tenants "
+                    f"{unknown}; declared: {sorted(declared)}"
+                )
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -222,8 +400,23 @@ class Workload:
 
     @property
     def duration(self) -> float:
-        """Span of the arrival process (last arrival time)."""
-        return self.jobs[-1].arrival_time if self.jobs else 0.0
+        """Span of the arrival process (latest arrival time).
+
+        Computed as a max rather than ``jobs[-1]`` so the answer stays
+        right even if a subclass or future constructor relaxes the
+        sorted-arrivals invariant that ``__post_init__`` enforces today.
+        """
+        return max((job.arrival_time for job in self.jobs), default=0.0)
+
+    @property
+    def tenant_names(self) -> Tuple[str, ...]:
+        """Declared tenants, or the distinct job tags when none declared."""
+        if self.tenants:
+            return tuple(spec.name for spec in self.tenants)
+        return tuple(sorted({job.tenant for job in self.jobs}))
+
+    def tenant_map(self) -> Mapping[str, TenantSpec]:
+        return {spec.name: spec for spec in self.tenants}
 
     def scaled_arrivals(self, factor: float) -> "Workload":
         """The same jobs with arrival times compressed/stretched by ``factor``."""
@@ -232,8 +425,14 @@ class Workload:
         return Workload(
             name=f"{self.name} (x{factor:g} arrivals)",
             jobs=tuple(
-                replace(job, arrival_time=job.arrival_time * factor) for job in self.jobs
+                replace(
+                    job,
+                    arrival_time=job.arrival_time * factor,
+                    deadline=None if job.deadline is None else job.deadline * factor,
+                )
+                for job in self.jobs
             ),
+            tenants=self.tenants,
         )
 
     def describe(self) -> str:
@@ -246,7 +445,10 @@ class Workload:
     # JSON trace replay
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
-        return {"name": self.name, "jobs": [job.to_dict() for job in self.jobs]}
+        payload: dict = {"name": self.name, "jobs": [job.to_dict() for job in self.jobs]}
+        if self.tenants:
+            payload["tenants"] = [spec.to_dict() for spec in self.tenants]
+        return payload
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -257,7 +459,13 @@ class Workload:
             (JobSpec.from_dict(job) for job in payload["jobs"]),
             key=lambda job: job.arrival_time,
         )
-        return cls(name=payload.get("name", "trace"), jobs=tuple(jobs))
+        return cls(
+            name=payload.get("name", "trace"),
+            jobs=tuple(jobs),
+            tenants=tuple(
+                TenantSpec.from_dict(spec) for spec in payload.get("tenants", ())
+            ),
+        )
 
     @classmethod
     def from_json(cls, text: str) -> "Workload":
@@ -351,6 +559,158 @@ def bursty_workload(
     )
 
 
+def _diurnal_arrivals(
+    rng: random.Random,
+    num_jobs: int,
+    base_rate: float,
+    peak_rate: float,
+    period: float,
+) -> list:
+    """Poisson-thinning arrivals for a sinusoidal rate profile.
+
+    The instantaneous rate swings between ``base_rate`` (trough, at
+    t=0) and ``peak_rate`` over each ``period`` seconds; candidates are
+    drawn at the peak rate and accepted with probability
+    ``rate(t) / peak_rate`` — the standard thinning construction for a
+    non-homogeneous Poisson process.
+    """
+    arrivals = []
+    now = 0.0
+    while len(arrivals) < num_jobs:
+        now += rng.expovariate(peak_rate)
+        rate = base_rate + (peak_rate - base_rate) * 0.5 * (
+            1.0 - math.cos(2.0 * math.pi * now / period)
+        )
+        if rng.random() < rate / peak_rate:
+            arrivals.append(now)
+    return arrivals
+
+
+def diurnal_workload(
+    num_jobs: int,
+    *,
+    base_rate: float = 0.02,
+    peak_rate: float = 0.2,
+    period: float = 3600.0,
+    seed: int = 0,
+    mix: JobMix = DEFAULT_MIX,
+    name: str | None = None,
+) -> Workload:
+    """Diurnal arrivals: a sinusoidal rate between trough and peak.
+
+    Example:
+        >>> from repro.cluster.workload import diurnal_workload
+        >>> first = diurnal_workload(6, seed=3)
+        >>> first == diurnal_workload(6, seed=3)  # seeded, deterministic
+        True
+    """
+    if num_jobs < 1:
+        raise ConfigurationError("num_jobs must be >= 1")
+    if base_rate <= 0 or peak_rate <= 0:
+        raise ConfigurationError("diurnal rates must be > 0")
+    if peak_rate < base_rate:
+        raise ConfigurationError("peak_rate must be >= base_rate")
+    if period <= 0:
+        raise ConfigurationError("diurnal period must be > 0")
+    rng = random.Random(seed)
+    jobs = [
+        mix.sample(rng, job_id=f"job-{index:04d}", arrival_time=arrival)
+        for index, arrival in enumerate(
+            _diurnal_arrivals(rng, num_jobs, base_rate, peak_rate, period)
+        )
+    ]
+    return Workload(
+        name=name or f"diurnal(peak={peak_rate:g}, n={num_jobs}, seed={seed})",
+        jobs=tuple(jobs),
+    )
+
+
+def tenant_workload(
+    tenants: Sequence[TenantSpec],
+    num_jobs: int,
+    *,
+    rate: float = 0.1,
+    seed: int = 0,
+    mixes: Optional[Mapping[str, JobMix]] = None,
+    deadline_slack: float = 900.0,
+    diurnal: bool = False,
+    period: float = 3600.0,
+    name: str | None = None,
+) -> Workload:
+    """A multi-tenant workload: one seeded sub-stream per tenant, merged.
+
+    ``num_jobs`` is split across tenants in proportion to their declared
+    ``rate`` (tenants without one share the ``rate`` argument equally).
+    Each tenant draws from its own ``random.Random(f"{seed}:{name}")``
+    stream, so adding a tenant never perturbs another tenant's jobs.
+    Tenants with a deadline policy get ``arrival + slack`` deadlines
+    (their ``deadline_slack``, else the ``deadline_slack`` argument);
+    ``diurnal=True`` swaps Poisson arrivals for the sinusoidal profile
+    of :func:`diurnal_workload`.
+
+    Example:
+        >>> from repro.cluster.workload import TenantSpec, tenant_workload
+        >>> fleet = tenant_workload(
+        ...     [TenantSpec("prod", priority=1, deadline_policy="strict"),
+        ...      TenantSpec("batch")], num_jobs=8, seed=0)
+        >>> sorted(fleet.tenant_names)
+        ['batch', 'prod']
+    """
+    if not tenants:
+        raise ConfigurationError("tenant_workload needs at least one tenant")
+    if num_jobs < 1:
+        raise ConfigurationError("num_jobs must be >= 1")
+    if rate <= 0:
+        raise ConfigurationError("arrival rate must be > 0")
+    specs = tuple(tenants)
+    default_rate = rate / len(specs)
+    weights = [spec.rate if spec.rate is not None else default_rate for spec in specs]
+    total_weight = sum(weights)
+
+    # Largest-remainder split of num_jobs proportional to arrival rates.
+    shares = [num_jobs * weight / total_weight for weight in weights]
+    counts = [int(share) for share in shares]
+    remainders = sorted(
+        range(len(specs)), key=lambda i: (counts[i] - shares[i], specs[i].name)
+    )
+    for index in remainders[: num_jobs - sum(counts)]:
+        counts[index] += 1
+
+    jobs = []
+    for spec, tenant_rate, count in zip(specs, weights, counts):
+        if count == 0:
+            continue
+        rng = random.Random(f"{seed}:{spec.name}")
+        mix = (mixes or {}).get(spec.name, DEFAULT_MIX)
+        if diurnal:
+            arrivals = _diurnal_arrivals(
+                rng, count, tenant_rate * 0.25, tenant_rate * 2.0, period
+            )
+        else:
+            arrivals = []
+            now = 0.0
+            for _ in range(count):
+                now += rng.expovariate(tenant_rate)
+                arrivals.append(now)
+        slack = spec.deadline_slack if spec.deadline_slack is not None else deadline_slack
+        for index, arrival in enumerate(arrivals):
+            job = mix.sample(rng, job_id=f"{spec.name}-{index:04d}", arrival_time=arrival)
+            jobs.append(
+                replace(
+                    job,
+                    tenant=spec.name,
+                    deadline=arrival + slack if spec.has_deadlines else None,
+                )
+            )
+    jobs.sort(key=lambda job: (job.arrival_time, job.job_id))
+    return Workload(
+        name=name
+        or f"tenants({'+'.join(spec.name for spec in specs)}, n={num_jobs}, seed={seed})",
+        jobs=tuple(jobs),
+        tenants=specs,
+    )
+
+
 def replay_workload(path: str | Path) -> Workload:
     """Load a JSON workload trace (alias for :meth:`Workload.load`)."""
     return Workload.load(path)
@@ -366,7 +726,10 @@ def arrival_process(
     seed: int = 0,
     mix: JobMix = DEFAULT_MIX,
 ) -> Workload:
-    """Build a workload by arrival-process name (``"poisson"`` / ``"bursty"``).
+    """Build a workload by arrival-process name.
+
+    ``"poisson"``, ``"bursty"`` and ``"diurnal"`` are understood; the
+    diurnal profile swings between ``rate / 4`` and ``2 * rate``.
 
     Example:
         >>> from repro.cluster.workload import arrival_process
@@ -379,6 +742,10 @@ def arrival_process(
         return bursty_workload(
             num_jobs, burst_size=burst_size, burst_gap=burst_gap, seed=seed, mix=mix
         )
+    if kind == "diurnal":
+        return diurnal_workload(
+            num_jobs, base_rate=rate * 0.25, peak_rate=rate * 2.0, seed=seed, mix=mix
+        )
     raise ConfigurationError(
-        f"unknown arrival process {kind!r}; known: 'poisson', 'bursty'"
+        f"unknown arrival process {kind!r}; known: 'poisson', 'bursty', 'diurnal'"
     )

@@ -696,6 +696,9 @@ class Session:
         faults=None,
         elastic: str = "restart",
         fault_seed: int = 0,
+        tenants=None,
+        price_curve=None,
+        slo_deadline_slack: float = 900.0,
     ):
         """Search a tuning space for the best candidate under an objective.
 
@@ -733,6 +736,9 @@ class Session:
                 faults=faults,
                 elastic=elastic,
                 fault_seed=fault_seed,
+                tenants=tenants,
+                price_curve=price_curve,
+                slo_deadline_slack=slo_deadline_slack,
             )
 
 

@@ -42,6 +42,7 @@ def create_app(service: Optional[PlannerService] = None, **service_kwargs):
     try:
         from fastapi import FastAPI, Request
         from fastapi.responses import JSONResponse, PlainTextResponse
+        from starlette.concurrency import run_in_threadpool
     except ImportError as error:
         raise ReproError(_INSTALL_HINT) from error
 
@@ -66,7 +67,13 @@ def create_app(service: Optional[PlannerService] = None, **service_kwargs):
     def _make_endpoint(method: str, path: str):
         async def endpoint(request: Request):
             raw = await request.body() if method == "POST" else b""
-            status, payload = service.dispatch_raw(method, path, raw)
+            # dispatch_raw is synchronous and can simulate for seconds;
+            # calling it inline would block the event loop and take the
+            # liveness endpoints down with it.  Hand it to the threadpool
+            # so /v1/healthz answers while a compute dispatch runs.
+            status, payload = await run_in_threadpool(
+                service.dispatch_raw, method, path, raw
+            )
             if isinstance(payload, str):
                 # /v1/metrics: Prometheus text exposition, not JSON.
                 return PlainTextResponse(payload, status_code=status)

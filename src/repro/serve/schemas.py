@@ -113,6 +113,14 @@ class ClusterRequest(_StrictModel):
     fault_trace: Optional[Dict[str, Any]] = None
     elastic: str = "restart"
     fault_seed: int = 0
+    #: Tenant roster shorthand (``"name:k=v,...;..."``); generates a
+    #: multi-tenant workload.  Mutually exclusive with ``workload`` —
+    #: inline workload documents carry their own tenant roster.
+    tenants: Optional[str] = None
+    #: Spot-market price curve: a preset name or ``"t:mult,...[@period]"``.
+    price_curve: Optional[str] = None
+    #: Seconds past arrival that deadline tenants' jobs must finish by.
+    deadline_slack: float = 900.0
 
 
 class TuneRequest(_StrictModel):
@@ -136,6 +144,12 @@ class TuneRequest(_StrictModel):
     fault_trace: Optional[Dict[str, Any]] = None
     elastic: str = "restart"
     fault_seed: int = 0
+    #: Tenant roster for the SLO objectives' contended probe (shorthand).
+    tenants: Optional[str] = None
+    #: Price curve metering the probe's GPU-seconds (preset or spec).
+    price_curve: Optional[str] = None
+    #: Deadline slack for the probe's deadline tenants, in seconds.
+    deadline_slack: Optional[float] = None
 
 
 class PrecomputeRequest(_StrictModel):
@@ -266,6 +280,8 @@ class ClusterResponse(BaseModel):
     workload: str
     reports: Dict[str, Dict[str, Any]]
     faults: Optional[Dict[str, Any]] = None
+    tenants: Optional[List[Dict[str, Any]]] = None
+    price_curve: Optional[str] = None
     meta: ResponseMeta
 
 

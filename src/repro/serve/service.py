@@ -44,8 +44,15 @@ from repro.cluster.elastic import ELASTIC_POLICIES
 from repro.cluster.faults import FAULT_PRESETS, FaultTrace, parse_fault_spec
 from repro.cluster.scheduler import POLICIES
 from repro.cluster.spec import cluster_from_shorthand, default_cluster
+from repro.cluster.market import PRICE_CURVES, parse_price_curve
 from repro.cluster.simulator import run_policy_comparison
-from repro.cluster.workload import DEFAULT_MIX, Workload, arrival_process
+from repro.cluster.workload import (
+    DEFAULT_MIX,
+    Workload,
+    arrival_process,
+    parse_tenant_shorthand,
+    tenant_workload,
+)
 from repro.core.config import (
     ExperimentConfig,
     VALID_DATASETS,
@@ -78,7 +85,7 @@ Response = Tuple[int, Union[dict, str]]
 _LOG = get_logger("serve")
 
 #: Arrival-process kinds ``/v1/cluster`` generates (mirrors the CLI choices).
-ARRIVAL_KINDS = ("poisson", "bursty")
+ARRIVAL_KINDS = ("poisson", "bursty", "diurnal")
 
 
 class ServeError(ReproError):
@@ -146,8 +153,16 @@ class PlannerService:
         # interleave with another handler's work, and the simulator core is
         # CPU-bound pure python anyway.  The warm hot path holds this lock
         # for microseconds (a shard lookup), so concurrent warm clients
-        # still see sub-millisecond service times.
+        # still see sub-millisecond service times.  Read-only endpoints
+        # (liveness, metrics, store stats) are exempt: a liveness probe
+        # must answer while a slow compute dispatch holds the lock, or the
+        # orchestrator declares a healthy-but-busy process dead.
         self._lock = threading.Lock()
+        self._read_only = {
+            ("GET", "/v1/healthz"),
+            ("GET", "/v1/metrics"),
+            ("GET", "/v1/store/stats"),
+        }
         self._started = time.monotonic()
         #: Completed dispatches (any status), reported by /v1/healthz.
         self._requests_served = 0
@@ -238,8 +253,14 @@ class PlannerService:
         return status, payload
 
     def _route(self, method: str, path: str, body: Optional[dict]) -> Response:
-        """The routing core dispatch() wraps with telemetry."""
-        handler = self._routes.get((method.upper(), path))
+        """The routing core dispatch() wraps with telemetry.
+
+        The session lock is taken here, once, for every compute handler;
+        routes in ``self._read_only`` run lock-free so liveness and
+        metrics stay responsive while a long simulation is in flight.
+        """
+        key = (method.upper(), path)
+        handler = self._routes.get(key)
         if handler is None:
             if path in self.paths():
                 allowed = self.methods_for(path)
@@ -257,7 +278,10 @@ class PlannerService:
                 choices=list(self.paths()),
             ).response()
         try:
-            return handler(body)
+            if key in self._read_only:
+                return handler(body)
+            with self._lock:
+                return handler(body)
         except ValidationError as error:
             return ServeError(
                 422,
@@ -386,11 +410,10 @@ class PlannerService:
             strategy=request.strategy,
             simulated_steps=request.steps,
         )
-        with self._lock:
-            before = self.session.stats.snapshot()
-            result = self.session.run(config)
-            payload = {"config": config.to_dict(), "result": result.to_dict()}
-            return self._finish("/v1/plan", payload, before)
+        before = self.session.stats.snapshot()
+        result = self.session.run(config)
+        payload = {"config": config.to_dict(), "result": result.to_dict()}
+        return self._finish("/v1/plan", payload, before)
 
     def _sweep(self, body: Optional[dict]) -> Response:
         request = SweepRequest.model_validate(body or {})
@@ -411,19 +434,18 @@ class PlannerService:
             batch_size=request.batch_size,
             simulated_steps=request.steps,
         )
-        with self._lock:
-            before = self.session.stats.snapshot()
-            sweep = self.session.sweep(
-                base,
-                batch_sizes=request.batch_sizes,
-                num_gpus=request.gpu_counts,
-                datasets=request.datasets,
-                servers=request.servers,
-                tasks=request.tasks,
-                strategies=request.strategies,
-                backend=request.backend,
-            )
-            return self._finish("/v1/sweep", sweep.to_dict(), before)
+        before = self.session.stats.snapshot()
+        sweep = self.session.sweep(
+            base,
+            batch_sizes=request.batch_sizes,
+            num_gpus=request.gpu_counts,
+            datasets=request.datasets,
+            servers=request.servers,
+            tasks=request.tasks,
+            strategies=request.strategies,
+            backend=request.backend,
+        )
+        return self._finish("/v1/sweep", sweep.to_dict(), before)
 
     def _resolve_faults(self, request) -> Union[FaultTrace, object, None]:
         """Coerce a request's fault fields to a fault source (or None)."""
@@ -470,6 +492,25 @@ class PlannerService:
         cluster = (
             cluster_from_shorthand(request.nodes) if request.nodes else default_cluster()
         )
+        if request.tenants and request.workload is not None:
+            raise ServeError(
+                400,
+                "domain",
+                "'tenants' and 'workload' are mutually exclusive; inline "
+                "workload documents carry their own tenant roster",
+                field="tenants",
+            )
+        try:
+            price_curve = parse_price_curve(request.price_curve)
+        except ReproError as error:
+            raise ServeError(
+                400,
+                "bad_price_curve",
+                str(error),
+                field="price_curve",
+                value=request.price_curve,
+                choices=sorted(PRICE_CURVES),
+            ) from error
         if request.workload is not None:
             try:
                 workload = Workload.from_dict(request.workload)
@@ -483,6 +524,15 @@ class PlannerService:
                     "JSON shape Workload.save() writes",
                     field="workload",
                 ) from error
+        elif request.tenants:
+            workload = tenant_workload(
+                parse_tenant_shorthand(request.tenants),
+                request.num_jobs,
+                rate=request.rate,
+                seed=request.seed,
+                deadline_slack=request.deadline_slack,
+                diurnal=request.arrival == "diurnal",
+            )
         else:
             workload = arrival_process(
                 request.arrival,
@@ -497,33 +547,37 @@ class PlannerService:
         policies = (
             tuple(POLICIES.names()) if request.policy == "all" else (request.policy,)
         )
-        with self._lock:
-            before = self.session.stats.snapshot()
-            reports = run_policy_comparison(
-                cluster,
-                workload,
-                policies=policies,
-                session=self.session,
-                faults=faults,
-                elastic=request.elastic,
-                fault_seed=request.fault_seed,
-            )
-            payload: Dict[str, Any] = {
-                "cluster": cluster.to_dict(),
-                "workload": workload.name,
-                "reports": {name: report.to_dict() for name, report in reports.items()},
+        before = self.session.stats.snapshot()
+        reports = run_policy_comparison(
+            cluster,
+            workload,
+            policies=policies,
+            session=self.session,
+            faults=faults,
+            elastic=request.elastic,
+            fault_seed=request.fault_seed,
+            price_curve=price_curve,
+        )
+        payload: Dict[str, Any] = {
+            "cluster": cluster.to_dict(),
+            "workload": workload.name,
+            "reports": {name: report.to_dict() for name, report in reports.items()},
+        }
+        if workload.tenants:
+            payload["tenants"] = [spec.to_dict() for spec in workload.tenants]
+        if price_curve is not None:
+            payload["price_curve"] = price_curve.name
+        if faults is not None:
+            payload["faults"] = {
+                "spec": (
+                    {"trace": faults.name}
+                    if isinstance(faults, FaultTrace)
+                    else faults.to_dict()
+                ),
+                "elastic": request.elastic,
+                "seed": request.fault_seed,
             }
-            if faults is not None:
-                payload["faults"] = {
-                    "spec": (
-                        {"trace": faults.name}
-                        if isinstance(faults, FaultTrace)
-                        else faults.to_dict()
-                    ),
-                    "elastic": request.elastic,
-                    "seed": request.fault_seed,
-                }
-            return self._finish("/v1/cluster", payload, before)
+        return self._finish("/v1/cluster", payload, before)
 
     def _tune(self, body: Optional[dict]) -> Response:
         from repro.tune.drivers import DRIVERS
@@ -564,20 +618,24 @@ class PlannerService:
             if request.deadline is not None
             else request.objective
         )
-        with self._lock:
-            before = self.session.stats.snapshot()
-            result = self.session.tune(
-                space,
-                objective=objective,
-                driver=request.driver,
-                budget=request.budget,
-                seed=request.seed,
-                simulated_steps=request.steps,
-                faults=self._resolve_faults(request),
-                elastic=request.elastic,
-                fault_seed=request.fault_seed,
-            )
-            return self._finish("/v1/tune", result.to_dict(), before)
+        before = self.session.stats.snapshot()
+        result = self.session.tune(
+            space,
+            objective=objective,
+            driver=request.driver,
+            budget=request.budget,
+            seed=request.seed,
+            simulated_steps=request.steps,
+            faults=self._resolve_faults(request),
+            elastic=request.elastic,
+            fault_seed=request.fault_seed,
+            tenants=request.tenants,
+            price_curve=request.price_curve,
+            slo_deadline_slack=(
+                request.deadline_slack if request.deadline_slack is not None else 900.0
+            ),
+        )
+        return self._finish("/v1/tune", result.to_dict(), before)
 
     def _precompute(self, body: Optional[dict]) -> Response:
         request = PrecomputeRequest.model_validate(body or {})
@@ -616,25 +674,24 @@ class PlannerService:
             strategy=strategies[0],
             simulated_steps=request.steps,
         )
-        with self._lock:
-            before = self.session.stats.snapshot()
-            sweep = self.session.sweep(
-                base,
-                batch_sizes=request.batch_sizes,
-                num_gpus=request.gpu_counts,
-                datasets=request.datasets,
-                servers=request.servers,
-                tasks=request.tasks,
-                strategies=strategies,
-                backend=request.backend,
-            )
-            delta = self.session.stats.delta(before)
-            payload = {
-                "spec": request.model_dump(),
-                "cells": len(sweep.cells),
-                "grid_size": len(sweep.cells) * len(sweep.strategies),
-                "simulated": delta["runs"],
-                "hydrated": delta["store_hits"],
-                "store": self.session.store.disk_summary(),
-            }
-            return self._finish("/v1/precompute", payload, before)
+        before = self.session.stats.snapshot()
+        sweep = self.session.sweep(
+            base,
+            batch_sizes=request.batch_sizes,
+            num_gpus=request.gpu_counts,
+            datasets=request.datasets,
+            servers=request.servers,
+            tasks=request.tasks,
+            strategies=strategies,
+            backend=request.backend,
+        )
+        delta = self.session.stats.delta(before)
+        payload = {
+            "spec": request.model_dump(),
+            "cells": len(sweep.cells),
+            "grid_size": len(sweep.cells) * len(sweep.strategies),
+            "simulated": delta["runs"],
+            "hydrated": delta["store_hits"],
+            "store": self.session.store.disk_summary(),
+        }
+        return self._finish("/v1/precompute", payload, before)

@@ -146,3 +146,31 @@ def goodput_key(
         }
     )
     return payload
+
+
+def slo_key(
+    cell_signature: Tuple,
+    steps: int,
+    jobs: int,
+    policy: str,
+    cluster_dict: dict,
+    tenants: Tuple[dict, ...],
+    price_curve: dict,
+    deadline_slack: float,
+) -> dict:
+    """Key payload for a multi-tenant SLO probe.
+
+    Extends :func:`throughput_key` with everything that changes the
+    contended-fleet scenario: the full tenant roster (specs serialised,
+    order preserved — tenant order seeds the per-tenant arrival streams),
+    the price curve and the deadline slack applied to deadline tenants.
+    """
+    payload = throughput_key(cell_signature, steps, jobs, policy, cluster_dict)
+    payload.update(
+        {
+            "tenants": list(tenants),
+            "price_curve": price_curve,
+            "deadline_slack": deadline_slack,
+        }
+    )
+    return payload

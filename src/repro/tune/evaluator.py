@@ -19,7 +19,9 @@ reuse:
   batch of identical jobs gang-scheduled by a
   :class:`~repro.cluster.simulator.ClusterSimulator` whose epoch-time memo is
   shared across *all* probes of a search, so policies replay the fleet
-  without new discrete-event simulations.
+  without new discrete-event simulations.  Two sibling probes reuse the
+  same memo: :meth:`goodput` (fault-injected fleets) and :meth:`slo`
+  (contended multi-tenant fleets with deadlines and price curves).
 
 When the wrapped session carries a persistent
 :class:`~repro.store.store.ExperimentStore`, every fidelity additionally
@@ -41,9 +43,17 @@ from repro.cluster.faults import (
     RecoveryModel,
     parse_fault_spec,
 )
+from repro.cluster.market import PriceCurve, parse_price_curve
 from repro.cluster.simulator import ClusterSimulator, EpochKey
 from repro.cluster.spec import default_cluster
-from repro.cluster.workload import JobSpec, Workload
+from repro.cluster.workload import (
+    JobMix,
+    JobSpec,
+    TenantSpec,
+    Workload,
+    parse_tenant_shorthand,
+    tenant_workload,
+)
 from repro.core.config import ExperimentConfig
 from repro.core.session import Session
 from repro.data.loader import DataLoadModel
@@ -54,9 +64,17 @@ from repro.obs.tracing import span
 from repro.parallel.estimator import StageTimeEstimator
 from repro.parallel.plan import SchedulePlan
 from repro.parallel.registry import REGISTRY
-from repro.store.keys import estimate_key, goodput_key, throughput_key
+from repro.store.keys import estimate_key, goodput_key, slo_key, throughput_key
 from repro.tune.objective import TuneMeasurement, cost_per_epoch
 from repro.tune.space import TunePoint
+
+#: Tenant roster the SLO probe contends with when none is configured: a
+#: best-effort batch tenant flooding the fleet plus a deadline-bound
+#: production tenant trickling jobs in.
+DEFAULT_SLO_TENANTS: Tuple[TenantSpec, ...] = (
+    TenantSpec("batch", priority=0, rate=0.2),
+    TenantSpec("prod", priority=2, deadline_policy="strict", rate=0.05),
+)
 
 
 def _count_probe(fidelity: str, amount: int = 1) -> None:
@@ -89,6 +107,8 @@ class EvaluatorStats:
     cluster_probe_hits: int = 0
     goodput_probes: int = 0
     goodput_probe_hits: int = 0
+    slo_probes: int = 0
+    slo_probe_hits: int = 0
     #: Results served from the session's persistent store instead of being
     #: recomputed (estimates, simulations and fleet probes combined).
     store_hydrations: int = 0
@@ -121,11 +141,16 @@ class TuneEvaluator:
         elastic: str = "restart",
         fault_seed: int = 0,
         recovery: Optional[RecoveryModel] = None,
+        tenants: Union[Tuple[TenantSpec, ...], str, None] = None,
+        price_curve: Union[PriceCurve, str, None] = None,
+        slo_deadline_slack: float = 900.0,
     ) -> None:
         if simulated_steps < 4:
             raise ConfigurationError("simulated_steps must be >= 4")
         if throughput_jobs < 1:
             raise ConfigurationError("throughput_jobs must be >= 1")
+        if slo_deadline_slack <= 0:
+            raise ConfigurationError("slo_deadline_slack must be > 0 seconds")
         self.session = session if session is not None else Session()
         self.simulated_steps = simulated_steps
         self.throughput_jobs = throughput_jobs
@@ -137,11 +162,24 @@ class TuneEvaluator:
         self.elastic = elastic
         self.fault_seed = fault_seed
         self.recovery = recovery if recovery is not None else RecoveryModel()
+        if isinstance(tenants, str):
+            tenants = parse_tenant_shorthand(tenants)
+        #: Tenant roster the SLO probe contends with; defaults to
+        #: :data:`DEFAULT_SLO_TENANTS` when an objective needs tenants.
+        self.tenants = tuple(tenants) if tenants is not None else None
+        #: Price curve metering the SLO probe's GPU-seconds (None = flat).
+        self.price_curve = (
+            price_curve
+            if isinstance(price_curve, PriceCurve)
+            else parse_price_curve(price_curve)
+        )
+        self.slo_deadline_slack = slo_deadline_slack
         self.stats = EvaluatorStats()
         self._estimates: Dict[Tuple, TuneMeasurement] = {}
         self._measurements: Dict[Tuple, TuneMeasurement] = {}
         self._throughputs: Dict[Tuple, float] = {}
         self._goodputs: Dict[Tuple, float] = {}
+        self._slos: Dict[Tuple, Tuple[float, float]] = {}
         #: Epoch-time memo shared by every fleet probe of this evaluator.
         self._cluster_epoch_times: Dict[EpochKey, float] = {}
 
@@ -534,10 +572,113 @@ class TuneEvaluator:
         return value
 
     # ------------------------------------------------------------------ #
+    # Multi-tenant SLO probe
+    # ------------------------------------------------------------------ #
+    def slo(self, point: TunePoint, steps: Optional[int] = None) -> Tuple[float, float]:
+        """``(deadline_hit_rate, cost_per_job)`` of a contended tenant fleet.
+
+        The probe gang-schedules ``throughput_jobs`` copies of the
+        candidate cell split across the evaluator's tenant roster (rate
+        weights decide the split, deadline tenants get
+        ``slo_deadline_slack`` seconds past arrival) under the point's
+        placement policy, with GPU-seconds metered through the price
+        curve.  Probes hydrate from / write through the persistent store
+        under roster-aware keys (:func:`repro.store.keys.slo_key`).
+        """
+        if point.policy is None:
+            raise ConfigurationError(
+                f"candidate {point.label()!r} has no placement policy; "
+                "SLO objectives need a space with a policies axis"
+            )
+        _count_probe("slo")
+        steps = self.simulated_steps if steps is None else steps
+        cluster = point.cluster if point.cluster is not None else default_cluster()
+        tenants = self.tenants if self.tenants is not None else DEFAULT_SLO_TENANTS
+        key = point.cell_signature() + (
+            steps,
+            point.policy,
+            cluster,
+            tenants,
+            self.price_curve,
+            self.slo_deadline_slack,
+        )
+        if key in self._slos:
+            self.stats.slo_probe_hits += 1
+            return self._slos[key]
+        store = self.session.store
+        store_key = slo_key(
+            point.cell_signature(),
+            steps,
+            self.throughput_jobs,
+            point.policy,
+            cluster.to_dict(),
+            tuple(spec.to_dict() for spec in tenants),
+            self.price_curve.to_dict() if self.price_curve is not None else {},
+            self.slo_deadline_slack,
+        )
+        if store is not None:
+            stored = store.get("slo", store_key)
+            if stored is not None:
+                value = (stored["deadline_hit_rate"], stored["cost_usd_per_job"])
+                self._slos[key] = value
+                self.stats.store_hydrations += 1
+                return value
+        mix = JobMix(
+            tasks=(point.task,),
+            batch_sizes=(point.batch_size,),
+            gpu_demands=(point.num_gpus,),
+            strategies=(point.strategy,),
+            epochs=(1,),
+        )
+        workload = tenant_workload(
+            tenants,
+            self.throughput_jobs,
+            seed=0,
+            mixes={spec.name: mix for spec in tenants},
+            deadline_slack=self.slo_deadline_slack,
+            name=f"tune-slo({point.label()})",
+        )
+        workload = replace(
+            workload,
+            jobs=tuple(
+                replace(job, simulated_steps=steps) for job in workload.jobs
+            ),
+        )
+        simulator = ClusterSimulator(
+            cluster,
+            policy=point.policy,
+            session=self.session,
+            epoch_time_cache=self._cluster_epoch_times,
+            price_curve=self.price_curve,
+        )
+        with span("tune.slo", point=point.label()):
+            report = simulator.run(workload)
+        value = (report.deadline_hit_rate, report.cost_per_job)
+        self._slos[key] = value
+        self.stats.slo_probes += 1
+        if store is not None:
+            store.put(
+                "slo",
+                store_key,
+                {
+                    "deadline_hit_rate": value[0],
+                    "cost_usd_per_job": value[1],
+                },
+            )
+        return value
+
+    # ------------------------------------------------------------------ #
     def evaluate(self, point: TunePoint, objective, steps: Optional[int] = None) -> TuneMeasurement:
         """Full-fidelity evaluation for an objective (fleet probe if needed)."""
         measurement = self.measure(point, steps)
-        if getattr(objective, "needs_faults", False):
+        if getattr(objective, "needs_tenants", False):
+            hit_rate, cost_per_job = self.slo(point, steps)
+            measurement = replace(
+                measurement,
+                deadline_hit_rate=hit_rate,
+                cost_per_job=cost_per_job,
+            )
+        elif getattr(objective, "needs_faults", False):
             measurement = replace(measurement, goodput=self.goodput(point, steps))
         elif getattr(objective, "needs_cluster", False):
             measurement = replace(

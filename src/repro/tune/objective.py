@@ -12,6 +12,12 @@ strategy and policy registries):
 
 * ``"epoch_time"`` — minimise simulated seconds per training epoch,
 * ``"jobs_per_hour"`` — maximise fleet throughput under a placement policy,
+* ``"goodput_under_faults"`` — maximise useful throughput under injected
+  faults (``needs_faults``),
+* ``"deadline_hit_rate"`` — maximise deadlines met on a contended
+  multi-tenant fleet (``needs_tenants``),
+* ``"cost_per_job"`` — minimise dollars per completed job on the same
+  contended, price-curve-metered fleet (``needs_tenants``),
 * ``"cost"`` — minimise dollars per epoch, optionally under an epoch-time
   deadline (:class:`MinCostUnderDeadline`).
 
@@ -25,14 +31,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
+from repro.cluster.market import GPU_HOURLY_RATES
 from repro.errors import ConfigurationError
 from repro.registry import NamedRegistry, make_register
 from repro.tune.space import TunePoint
 
-#: Cloud-style hourly rates per GPU, used by the cost objective ($ / GPU-hour).
-GPU_HOURLY_RATES: Dict[str, float] = {"a6000": 1.10, "2080ti": 0.35}
+__all__ = [
+    "GPU_HOURLY_RATES",  # re-exported from repro.cluster.market for compat
+    "OBJECTIVES",
+    "TuneMeasurement",
+    "cost_per_epoch",
+    "register_objective",
+    "resolve_objective",
+]
 
 
 def cost_per_epoch(server: str, num_gpus: int, epoch_time: float) -> float:
@@ -75,6 +88,11 @@ class TuneMeasurement:
     #: Fault-discounted fleet throughput (useful jobs/hour under an injected
     #: fault scenario); only set by the ``goodput_under_faults`` objective.
     goodput: Optional[float] = None
+    #: Fraction of deadline-carrying jobs finishing on time in a contended
+    #: multi-tenant probe; only set by tenant-aware objectives.
+    deadline_hit_rate: Optional[float] = None
+    #: Dollars per completed job in the same probe (price-curve metered).
+    cost_per_job: Optional[float] = None
 
     @property
     def gpus(self) -> int:
@@ -91,6 +109,8 @@ class TuneMeasurement:
             "cost_usd_per_epoch": self.cost,
             "jobs_per_hour": self.jobs_per_hour,
             "goodput_jobs_per_hour": self.goodput,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "cost_usd_per_job": self.cost_per_job,
             "fidelity": self.fidelity,
             "simulated_steps": self.simulated_steps,
         }
@@ -244,6 +264,87 @@ class MaxGoodputUnderFaults:
         if measurement.goodput is not None:
             return self.key(measurement)
         return OBJECTIVES.get("jobs_per_hour").proxy_key(measurement)
+
+
+@register_objective
+class MaxDeadlineHitRate:
+    """Maximise the deadline hit rate of a contended multi-tenant fleet.
+
+    The evaluator's SLO probe gang-schedules a two-tenant contended
+    workload (a best-effort tenant plus a deadline tenant, both running
+    the candidate cell) under each policy and scores
+    :attr:`~repro.analysis.cluster_report.ClusterReport.deadline_hit_rate`.
+    Candidates whose gang sizes leave room for the deadline tenant's jobs
+    — and policies that reorder or preempt for them — win.
+
+    Requires a space with a ``policies`` axis; the tenant roster and the
+    price curve are configured on the evaluator /
+    :func:`repro.tune.tuner.tune` (``tenants=``, ``price_curve=``).
+
+    Example:
+        >>> from repro.tune.objective import OBJECTIVES
+        >>> obj = OBJECTIVES.get("deadline_hit_rate")
+        >>> (obj.sense, obj.needs_cluster, obj.needs_tenants)
+        ('max', True, True)
+    """
+
+    name = "deadline_hit_rate"
+    sense = "max"
+    needs_cluster = True
+    needs_tenants = True
+
+    def score(self, measurement: TuneMeasurement) -> float:
+        """Natural-units score: fraction of deadlines met."""
+        return measurement.deadline_hit_rate or 0.0
+
+    def key(self, measurement: TuneMeasurement) -> float:
+        """Lower-is-better key (negated hit rate; ties: faster epochs)."""
+        return -(measurement.deadline_hit_rate or 0.0)
+
+    def proxy_key(self, measurement: TuneMeasurement) -> float:
+        """Epoch-time proxy: shorter service times meet more deadlines."""
+        if measurement.deadline_hit_rate is not None:
+            return self.key(measurement)
+        return measurement.epoch_time
+
+
+@register_objective
+class MinCostPerJob:
+    """Minimise dollars per completed job on a contended, metered fleet.
+
+    Scored from the same SLO probe as ``deadline_hit_rate``:
+    :attr:`~repro.analysis.cluster_report.ClusterReport.cost_per_job`
+    with GPU-seconds metered through the evaluator's price curve.
+    Candidates that finish jobs with fewer GPU-seconds — or schedule
+    them into cheap price-curve valleys — win.
+
+    Example:
+        >>> from repro.tune.objective import OBJECTIVES
+        >>> obj = OBJECTIVES.get("cost_per_job")
+        >>> (obj.sense, obj.needs_tenants)
+        ('min', True)
+    """
+
+    name = "cost_per_job"
+    sense = "min"
+    needs_cluster = True
+    needs_tenants = True
+
+    def score(self, measurement: TuneMeasurement) -> float:
+        """Natural-units score: dollars per completed job."""
+        return measurement.cost_per_job or 0.0
+
+    def key(self, measurement: TuneMeasurement) -> float:
+        """Lower-is-better key; unprobed candidates rank last."""
+        if measurement.cost_per_job is None:
+            return math.inf
+        return measurement.cost_per_job
+
+    def proxy_key(self, measurement: TuneMeasurement) -> float:
+        """Per-epoch cost proxy: cheap epochs make cheap jobs."""
+        if measurement.cost_per_job is not None:
+            return self.key(measurement)
+        return measurement.cost
 
 
 @register_objective

@@ -36,6 +36,9 @@ def tune(
     faults=None,
     elastic: str = "restart",
     fault_seed: int = 0,
+    tenants=None,
+    price_curve=None,
+    slo_deadline_slack: float = 900.0,
 ) -> TuneResult:
     """Search a tuning space for the best candidate under an objective.
 
@@ -49,7 +52,11 @@ def tune(
     (a :class:`~repro.cluster.faults.FaultModel`, a
     :class:`~repro.cluster.faults.FaultTrace`, a CLI-style spec string or
     ``None`` for the ``bursty-preemption`` preset); other objectives
-    ignore them.
+    ignore them.  ``tenants`` / ``price_curve`` / ``slo_deadline_slack``
+    likewise configure the contended fleet the ``deadline_hit_rate`` and
+    ``cost_per_job`` objectives probe (tenant specs or a shorthand string,
+    a :class:`~repro.cluster.market.PriceCurve` or preset/spec string,
+    and the deadline slack in seconds).
 
     Example:
         >>> from repro.tune import TuneSpace, tune
@@ -78,6 +85,9 @@ def tune(
         faults=faults,
         elastic=elastic,
         fault_seed=fault_seed,
+        tenants=tenants,
+        price_curve=price_curve,
+        slo_deadline_slack=slo_deadline_slack,
     )
     run = resolved_driver.search(
         space, resolved_objective, evaluator, budget=budget, seed=seed

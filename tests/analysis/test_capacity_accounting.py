@@ -1,0 +1,103 @@
+"""Unit tests for crash-adjusted capacity accounting on ClusterReport.
+
+Regression for the utilization bug: ``gpu_utilization`` divided busy
+GPU-seconds by ``total_gpus * makespan`` even when crash faults had
+permanently removed GPUs, under-reporting utilization of the surviving
+fleet.  The denominator must be the live-capacity integral: each crash
+subtracts ``removed_gpus * (makespan - crash_time)``.
+"""
+
+import pytest
+
+from repro.analysis.cluster_report import ClusterReport, JobRecord
+
+
+def record(job_id, start, finish, gpus=2, node="a"):
+    return JobRecord(
+        job_id=job_id,
+        node=node,
+        gpus=gpus,
+        strategy="TR",
+        cell="nas/cifar10/a6000x2/b128",
+        arrival_time=start,
+        start_time=start,
+        finish_time=finish,
+    )
+
+
+def report(records, fault_events=()):
+    return ClusterReport(
+        policy="fifo",
+        cluster_name="cluster",
+        workload_name="w",
+        node_gpus={"a": 4, "b": 4},
+        records=tuple(records),
+        fault_events=tuple(fault_events),
+    )
+
+
+class TestCapacityIntegral:
+    def test_fault_free_capacity_is_total_gpus_times_makespan(self):
+        fleet = report([record("j0", 0.0, 100.0)])
+        assert fleet.capacity_gpu_seconds == pytest.approx(8 * 100.0)
+
+    def test_partial_crash_subtracts_from_crash_time_onwards(self):
+        fleet = report(
+            [record("j0", 0.0, 100.0)],
+            fault_events=[{"kind": "crash", "node": "a", "time": 50.0, "gpus": 2}],
+        )
+        # 8 GPUs * 100 s, minus the 2 crashed GPUs for the last 50 s.
+        assert fleet.capacity_gpu_seconds == pytest.approx(800.0 - 2 * 50.0)
+
+    def test_whole_node_crash_removes_all_live_gpus(self):
+        fleet = report(
+            [record("j0", 0.0, 100.0)],
+            fault_events=[{"kind": "crash", "node": "b", "time": 25.0}],
+        )
+        assert fleet.capacity_gpu_seconds == pytest.approx(800.0 - 4 * 75.0)
+
+    def test_repeated_crashes_never_drive_a_node_negative(self):
+        fleet = report(
+            [record("j0", 0.0, 100.0)],
+            fault_events=[
+                {"kind": "crash", "node": "a", "time": 0.0, "gpus": 3},
+                {"kind": "crash", "node": "a", "time": 0.0, "gpus": 3},
+            ],
+        )
+        # Second crash only removes the one GPU still live.
+        assert fleet.capacity_gpu_seconds == pytest.approx(800.0 - 4 * 100.0)
+
+    def test_non_crash_and_unknown_node_events_are_ignored(self):
+        fleet = report(
+            [record("j0", 0.0, 100.0)],
+            fault_events=[
+                {"kind": "preempt", "node": "a", "time": 10.0, "gpus": 4},
+                {"kind": "crash", "node": "ghost", "time": 10.0, "gpus": 4},
+            ],
+        )
+        assert fleet.capacity_gpu_seconds == pytest.approx(800.0)
+
+    def test_utilization_is_scored_against_surviving_capacity(self):
+        # 2 GPUs busy for the whole 100 s makespan = 200 busy GPU-seconds.
+        records = [record("j0", 0.0, 100.0, gpus=2)]
+        healthy = report(records)
+        degraded = report(
+            records,
+            fault_events=[{"kind": "crash", "node": "b", "time": 0.0}],
+        )
+        assert healthy.gpu_utilization == pytest.approx(200.0 / 800.0)
+        # The old total_gpus * makespan denominator would report 0.25 here
+        # too; the live-capacity integral credits the surviving fleet.
+        assert degraded.gpu_utilization == pytest.approx(200.0 / 400.0)
+        assert degraded.gpu_utilization > healthy.gpu_utilization
+
+    def test_fully_crashed_fleet_reports_zero_utilization(self):
+        fleet = report(
+            [record("j0", 0.0, 100.0)],
+            fault_events=[
+                {"kind": "crash", "node": "a", "time": 0.0},
+                {"kind": "crash", "node": "b", "time": 0.0},
+            ],
+        )
+        assert fleet.capacity_gpu_seconds == 0.0
+        assert fleet.gpu_utilization == 0.0

@@ -1,0 +1,140 @@
+"""Property-based tests for the SLO analytics on :class:`ClusterReport`.
+
+The fairness index and the deadline/cost rates are consumed by tune
+objectives and CI gates, so they must be total functions: bounded on
+every record set hypothesis can dream up, and never dividing by zero on
+empty or degenerate inputs.  The deterministic hypothesis profile is
+registered in ``tests/conftest.py``.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.analysis.cluster_report import ClusterReport, JobRecord  # noqa: E402
+
+
+def record(
+    index: int,
+    wait: float,
+    service: float,
+    tenant: str,
+    deadline_offset=None,
+    cost=None,
+) -> JobRecord:
+    arrival = float(index)
+    start = arrival + wait
+    finish = start + service
+    return JobRecord(
+        job_id=f"j{index}",
+        node="a6000-0",
+        gpus=1,
+        strategy="TR",
+        cell="nas/cifar10/a6000x1/b128",
+        arrival_time=arrival,
+        start_time=start,
+        finish_time=finish,
+        tenant=tenant,
+        deadline=arrival + deadline_offset if deadline_offset is not None else None,
+        cost_usd=cost,
+    )
+
+
+def report(records, tenants=()):
+    return ClusterReport(
+        policy="fifo",
+        cluster_name="cluster",
+        workload_name="w",
+        node_gpus={"a6000-0": 4},
+        records=tuple(records),
+        tenants=tuple({"name": name} for name in tenants),
+    )
+
+
+# One hypothesis-drawn job: (wait, service, tenant, deadline offset or
+# None, cost or None).  Waits/services span six orders of magnitude to
+# probe the slowdown clamp; tenants draw from a tiny alphabet so multi-
+# tenant collisions actually happen.
+job_strategy = st.tuples(
+    st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e5, allow_nan=False)),
+    st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e3, allow_nan=False)),
+)
+
+
+class TestFairnessIndexBounds:
+    @given(st.lists(job_strategy, min_size=0, max_size=24))
+    def test_always_within_unit_interval(self, jobs):
+        records = [
+            record(i, wait, service, tenant, deadline, cost)
+            for i, (wait, service, tenant, deadline, cost) in enumerate(jobs)
+        ]
+        index = report(records).fairness_index
+        assert 0.0 <= index <= 1.0
+
+    @given(st.lists(job_strategy, min_size=1, max_size=24))
+    def test_single_tenant_is_perfectly_fair(self, jobs):
+        records = [
+            record(i, wait, service, "solo", deadline, cost)
+            for i, (wait, service, _, deadline, cost) in enumerate(jobs)
+        ]
+        assert report(records).fairness_index == 1.0
+
+    @given(st.lists(job_strategy, min_size=2, max_size=24))
+    def test_identical_slowdowns_are_perfectly_fair(self, jobs):
+        # Same wait/service for every tenant's jobs -> equal slowdowns ->
+        # Jain's index must sit at its maximum.
+        records = [
+            record(i, 10.0, 50.0, tenant)
+            for i, (_, _, tenant, _, _) in enumerate(jobs)
+        ]
+        assert report(records).fairness_index == pytest.approx(1.0)
+
+
+class TestEmptyAndDegenerateInputs:
+    def test_empty_report_raises_nothing(self):
+        empty = report([])
+        assert empty.fairness_index == 1.0
+        assert empty.deadline_hit_rate == 1.0
+        assert empty.cost_per_job == 0.0
+        assert empty.total_cost_usd == 0.0
+        assert empty.per_tenant() == {}
+        assert empty.gpu_utilization == 0.0
+
+    def test_declared_tenants_without_records_are_still_reported(self):
+        # Declared-but-idle tenants must appear with safe zero stats, not
+        # blow up on a 0/0 mean.
+        empty = report([], tenants=("prod", "batch"))
+        breakdown = empty.per_tenant()
+        assert set(breakdown) == {"prod", "batch"}
+        for stats in breakdown.values():
+            assert stats["jobs"] == 0
+            assert stats["mean_wait_s"] == 0.0
+            assert stats["mean_slowdown"] == 0.0
+            assert stats["deadline_hit_rate"] == 1.0
+            assert stats["cost_usd"] == 0.0
+
+    @given(st.lists(job_strategy, min_size=0, max_size=24))
+    def test_slo_metrics_are_total_functions(self, jobs):
+        records = [
+            record(i, wait, service, tenant, deadline, cost)
+            for i, (wait, service, tenant, deadline, cost) in enumerate(jobs)
+        ]
+        fleet = report(records, tenants=("a", "b", "c", "d", "idle"))
+        assert 0.0 <= fleet.deadline_hit_rate <= 1.0
+        assert fleet.cost_per_job >= 0.0
+        breakdown = fleet.per_tenant()
+        assert "idle" in breakdown
+        for stats in breakdown.values():
+            assert 0.0 <= stats["deadline_hit_rate"] <= 1.0
+            assert stats["mean_slowdown"] >= 0.0
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_zero_service_jobs_never_divide_by_zero(self, wait):
+        # service_time == 0 -> slowdown hits its 1e-9 clamp, not a crash.
+        records = [record(0, wait, 0.0, "a"), record(1, 0.0, 0.0, "b")]
+        fleet = report(records)
+        assert 0.0 <= fleet.fairness_index <= 1.0

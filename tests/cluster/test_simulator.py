@@ -120,10 +120,11 @@ class TestDeterminismAndAmortisation:
         workload = poisson_workload(30, rate=0.5, seed=2)
         session = Session()
         reports = run_policy_comparison(cluster, workload, session=session)
-        assert set(reports) == {"fifo", "best-fit", "sjf"}
+        # The default policy set is the whole registry.
+        assert set(reports) == set(POLICIES.names())
         for report in reports.values():
             assert report.num_jobs == 30
-        # All three policies see the same cells: profiling happened once.
+        # All policies see the same cells: profiling happened once.
         assert session.stats.profile_hits > 0
 
     def test_policy_comparison_shares_epoch_time_memo(self):
@@ -145,7 +146,10 @@ class TestDeterminismAndAmortisation:
         # Distinct policies may land jobs on new (cell, node-type) combos,
         # but sharing still keeps the total well under per-policy cost.
         session_three = Session()
-        run_policy_comparison(cluster, workload, session=session_three)
+        run_policy_comparison(
+            cluster, workload, policies=("fifo", "best-fit", "sjf"),
+            session=session_three,
+        )
         assert session_three.stats.runs < 3 * single_policy_runs
 
     def test_explicit_epoch_time_cache_is_shared(self, small_cluster):
@@ -164,7 +168,7 @@ class TestDeterminismAndAmortisation:
         assert second.simulations_run == len(shared)
 
     def test_acceptance_criterion_200_jobs_all_policies(self):
-        """Seeded 200-job Poisson workload, 4-node cluster, three policies."""
+        """Seeded 200-job Poisson workload, 4-node cluster, every policy."""
         cluster = default_cluster()
         workload = poisson_workload(200, rate=0.5, seed=0)
         session = Session()

@@ -144,3 +144,44 @@ class TestWorkload:
         }
         workload = Workload.from_dict(payload)
         assert [j.job_id for j in workload] == ["early", "late"]
+
+    def test_duration_is_max_arrival_not_last_job(self):
+        # Regression: duration used to read jobs[-1].arrival_time, which is
+        # only the latest arrival because the constructor enforces sorted
+        # order — duration must be defined as the max either way.
+        workload = Workload(
+            name="w", jobs=(job("a", arrival=1.0), job("b", arrival=7.5))
+        )
+        assert workload.duration == 7.5
+        assert Workload(name="empty", jobs=()).duration == 0.0
+
+    def test_unsorted_trace_replays_through_the_simulator(self, tmp_path):
+        # Regression: an unsorted hand-written JSON trace must load (sorted)
+        # and replay; the event loop assumes arrival order, so an unsorted
+        # workload would mis-schedule every job after the inversion.
+        from repro.cluster.simulator import ClusterSimulator
+        from repro.cluster.spec import cluster_from_shorthand
+
+        payload = {
+            "name": "unsorted-trace",
+            "jobs": [
+                job("late", arrival=40.0).to_dict(),
+                job("early", arrival=0.0).to_dict(),
+                job("middle", arrival=20.0).to_dict(),
+            ],
+        }
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(payload))
+        workload = Workload.load(path)
+        assert [j.job_id for j in workload] == ["early", "middle", "late"]
+        assert workload.duration == 40.0
+        report = ClusterSimulator(
+            cluster_from_shorthand("a6000:4"), policy="fifo"
+        ).run(workload)
+        assert report.num_jobs == 3
+        by_id = {record.job_id: record for record in report.records}
+        # Every job starts no earlier than it arrived — the tell for a
+        # replay that trusted the on-disk order.
+        for record in report.records:
+            assert record.start_time >= record.arrival_time
+        assert by_id["early"].start_time == pytest.approx(0.0)

@@ -102,7 +102,14 @@ class TestCluster:
     def test_policy_all_compares_every_policy(self, client):
         body = {"num_jobs": 8, "seed": 0}
         payload = validated("/v1/cluster", client.post("/v1/cluster", json=body))
-        assert set(payload["reports"]) == {"fifo", "best-fit", "sjf"}
+        assert set(payload["reports"]) == {
+            "fifo",
+            "best-fit",
+            "sjf",
+            "priority",
+            "fair-share",
+            "deadline-aware",
+        }
         for report in payload["reports"].values():
             assert report["makespan_s"] > 0
         assert "faults" not in payload

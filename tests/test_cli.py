@@ -106,7 +106,14 @@ class TestCluster:
         assert code == 0
         assert "policy" in captured.err  # comparison table on stderr
         payload = json.loads(target.read_text())
-        assert set(payload["reports"]) == {"fifo", "best-fit", "sjf"}
+        assert set(payload["reports"]) == {
+            "fifo",
+            "best-fit",
+            "sjf",
+            "priority",
+            "fair-share",
+            "deadline-aware",
+        }
         for report in payload["reports"].values():
             assert report["num_jobs"] == 12
         assert payload["session_stats"]["profile_builds"] > 0
